@@ -1,0 +1,44 @@
+/// \file bench_fig4_training.cpp
+/// Reproduces Figure 4: design-specific testing-loss (MSE) curves over
+/// training epochs for b07, b08, b09, b10, b11, b12, c2670 and c5315.
+/// The shape to check: every curve decreases and converges.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    const auto scale = bgbench::Scale::from_args(argc, argv);
+    scale.banner("Figure 4: design-specific testing loss vs epochs");
+
+    const std::vector<std::string> designs = {"b07", "b08", "b09", "b10",
+                                              "b11", "b12", "c2670",
+                                              "c5315"};
+    bg::TablePrinter table({"design", "nodes", "epoch0", "25%", "50%", "75%",
+                            "final", "decreasing?"});
+    bool all_converge = true;
+    for (const auto& name : designs) {
+        bg::Stopwatch sw;
+        const auto td = bgbench::train_design(scale, name);
+        const auto& h = td.result.history;
+        const auto at = [&](double frac) {
+            const auto idx = static_cast<std::size_t>(
+                frac * static_cast<double>(h.size() - 1));
+            return h[idx].test_loss;
+        };
+        const bool decreasing = h.back().test_loss < h.front().test_loss;
+        all_converge &= decreasing;
+        table.add_row({name, std::to_string(td.design.num_ands()),
+                       bg::TablePrinter::fmt(at(0.0), 5),
+                       bg::TablePrinter::fmt(at(0.25), 5),
+                       bg::TablePrinter::fmt(at(0.5), 5),
+                       bg::TablePrinter::fmt(at(0.75), 5),
+                       bg::TablePrinter::fmt(at(1.0), 5),
+                       decreasing ? "yes" : "NO"});
+        std::printf("  [%s trained in %.1fs]\n", name.c_str(), sw.seconds());
+    }
+    std::printf("\n");
+    table.print();
+    std::printf("\nshape check (paper): every testing-loss curve decreases "
+                "over training: %s\n",
+                all_converge ? "YES" : "NO");
+    return all_converge ? 0 : 1;
+}

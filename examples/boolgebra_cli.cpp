@@ -1,0 +1,288 @@
+/// \file boolgebra_cli.cpp
+/// A small synthesis shell over the BoolGebra library — the kind of tool a
+/// downstream user would actually drive in scripts.
+///
+/// Commands:
+///   stats    <design>                          print size / depth / IO
+///   opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out.{aag,aig,bench}]
+///   sample   <design> [-n N] [--guided] [--seed S] [--save-best best.csv]
+///   apply    <design> --decisions d.csv [-o out]
+///   cec      <design1> <design2>               equivalence check (sim + SAT)
+///   map      <design> [-k K]                   K-LUT technology mapping
+///   convert  <in> <out>                        format conversion
+///   list                                       registry designs
+///
+/// <design> is a registry name (b07..c5315, optionally name@scale, e.g.
+/// b11@0.25) or a path ending in .aag / .aig / .bench.
+
+#include <cstdio>
+#include <optional>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "aig/cec.hpp"
+#include "circuits/registry.hpp"
+#include "core/sampling.hpp"
+#include "io/aiger.hpp"
+#include "io/bench.hpp"
+#include "opt/balance.hpp"
+#include "opt/lut_map.hpp"
+#include "opt/orchestrate.hpp"
+#include "opt/standalone.hpp"
+#include "sat/cec_sat.hpp"
+#include "util/progress.hpp"
+#include "util/stats.hpp"
+
+using bg::aig::Aig;
+
+namespace {
+
+int usage() {
+    std::puts(
+        "usage: boolgebra_cli <command> [args]\n"
+        "  stats    <design>\n"
+        "  opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out]\n"
+        "  sample   <design> [-n N] [--guided] [--seed S] [--save-best f]\n"
+        "  apply    <design> --decisions d.csv [-o out]\n"
+        "  cec      <design1> <design2>\n"
+        "  map      <design> [-k K]\n"
+        "  convert  <in> <out>\n"
+        "  list\n"
+        "designs: registry names (b07..c5315, name@scale) or "
+        ".aag/.aig/.bench files");
+    return 2;
+}
+
+Aig load_design(const std::string& spec) {
+    if (spec.ends_with(".bench")) {
+        return bg::io::read_bench_file(spec);
+    }
+    if (spec.ends_with(".aag") || spec.ends_with(".aig")) {
+        return bg::io::read_aiger_auto_file(spec);
+    }
+    const auto at = spec.find('@');
+    if (at != std::string::npos) {
+        return bg::circuits::make_benchmark_scaled(
+            spec.substr(0, at), std::stod(spec.substr(at + 1)));
+    }
+    return bg::circuits::make_benchmark(spec);
+}
+
+void save_design(const Aig& g, const std::string& path) {
+    if (path.ends_with(".bench")) {
+        bg::io::write_bench_file(g, path);
+    } else if (path.ends_with(".aig")) {
+        bg::io::write_aiger_binary_file(g, path);
+    } else {
+        bg::io::write_aiger_file(g, path);
+    }
+    std::printf("wrote %s\n", path.c_str());
+}
+
+std::optional<std::string> flag_value(std::vector<std::string>& args,
+                                      const char* name) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == name) {
+            std::string value = args[i + 1];
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            return value;
+        }
+    }
+    return std::nullopt;
+}
+
+bool flag_present(std::vector<std::string>& args, const char* name) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == name) {
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+int cmd_stats(Aig g) {
+    std::printf("pis   : %zu\n", g.num_pis());
+    std::printf("pos   : %zu\n", g.num_pos());
+    std::printf("ands  : %zu\n", g.num_ands());
+    std::printf("depth : %u\n", g.depth());
+    return 0;
+}
+
+int cmd_opt(Aig g, std::vector<std::string> args) {
+    const auto ops_arg = flag_value(args, "--ops");
+    const auto rounds_arg = flag_value(args, "--rounds");
+    const auto out_arg = flag_value(args, "-o");
+    const std::string ops = ops_arg.value_or("rw,rs,rf");
+    const int rounds = rounds_arg ? std::atoi(rounds_arg->c_str()) : 1;
+
+    std::printf("start: ands=%zu depth=%u\n", g.num_ands(), g.depth());
+    for (int r = 0; r < rounds; ++r) {
+        std::size_t pos = 0;
+        while (pos < ops.size()) {
+            auto comma = ops.find(',', pos);
+            if (comma == std::string::npos) {
+                comma = ops.size();
+            }
+            const std::string op = ops.substr(pos, comma - pos);
+            pos = comma + 1;
+            if (op == "rw") {
+                (void)bg::opt::standalone_pass(g, bg::opt::OpKind::Rewrite);
+            } else if (op == "rs") {
+                (void)bg::opt::standalone_pass(g, bg::opt::OpKind::Resub);
+            } else if (op == "rf") {
+                (void)bg::opt::standalone_pass(g, bg::opt::OpKind::Refactor);
+            } else if (op == "b") {
+                (void)bg::opt::balance_in_place(g);
+            } else {
+                std::printf("unknown op '%s' (use rw, rs, rf, b)\n",
+                            op.c_str());
+                return 2;
+            }
+            std::printf("after %-2s: ands=%zu depth=%u\n", op.c_str(),
+                        g.num_ands(), g.depth());
+        }
+    }
+    if (out_arg) {
+        save_design(g, *out_arg);
+    }
+    return 0;
+}
+
+int cmd_sample(Aig g, std::vector<std::string> args) {
+    const auto n_arg = flag_value(args, "-n");
+    const auto seed_arg = flag_value(args, "--seed");
+    const auto save_arg = flag_value(args, "--save-best");
+    const bool guided = flag_present(args, "--guided");
+    const std::size_t n =
+        n_arg ? static_cast<std::size_t>(std::atoll(n_arg->c_str())) : 100;
+    const std::uint64_t seed =
+        seed_arg ? static_cast<std::uint64_t>(std::atoll(seed_arg->c_str()))
+                 : 1;
+
+    const auto samples =
+        guided ? bg::core::generate_guided_samples(g, n, seed)
+               : bg::core::generate_random_samples(g, n, seed);
+    std::vector<double> reductions;
+    const bg::core::SampleRecord* best = nullptr;
+    for (const auto& s : samples) {
+        reductions.push_back(s.reduction);
+        if (best == nullptr || s.reduction > best->reduction) {
+            best = &s;
+        }
+    }
+    const auto sum = bg::summarize(reductions);
+    std::printf("%s sampling: %zu samples on %zu-node design\n",
+                guided ? "guided" : "random", n, g.num_ands());
+    std::printf("reduction: mean %.1f sd %.1f min %.0f max %.0f\n", sum.mean,
+                sum.stddev, sum.min, sum.max);
+    std::printf("density  : %s\n",
+                bg::sparkline(bg::histogram(reductions, 32)).c_str());
+    if (save_arg && best != nullptr) {
+        bg::opt::save_decisions_csv(*save_arg, best->decisions);
+        std::printf("best decision vector (reduction %d) saved to %s\n",
+                    best->reduction, save_arg->c_str());
+    }
+    return 0;
+}
+
+int cmd_apply(Aig g, std::vector<std::string> args) {
+    const auto dec_arg = flag_value(args, "--decisions");
+    const auto out_arg = flag_value(args, "-o");
+    if (!dec_arg) {
+        std::puts("apply requires --decisions <file.csv>");
+        return 2;
+    }
+    auto decisions = bg::opt::load_decisions_csv(*dec_arg);
+    if (decisions.size() < g.num_slots()) {
+        decisions.resize(g.num_slots(), bg::opt::OpKind::None);
+    }
+    const auto res = bg::opt::orchestrate(g, decisions);
+    std::printf("orchestrated: %zu -> %zu nodes (%d removed), depth %u -> "
+                "%u, %zu ops applied\n",
+                res.original_size, res.final_size, res.reduction(),
+                res.original_depth, res.final_depth, res.num_applied);
+    if (out_arg) {
+        save_design(g, *out_arg);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (cmd == "list") {
+            for (const auto& info : bg::circuits::benchmark_registry()) {
+                std::printf("%-7s %-10s pis=%-4u target=%zu\n",
+                            info.name.c_str(),
+                            info.family == bg::circuits::Family::Control
+                                ? "control"
+                                : "arithmetic",
+                            info.num_pis, info.target_ands);
+            }
+            return 0;
+        }
+        if (cmd == "stats" && args.size() == 1) {
+            return cmd_stats(load_design(args[0]));
+        }
+        if (cmd == "opt" && !args.empty()) {
+            Aig g = load_design(args[0]);
+            args.erase(args.begin());
+            return cmd_opt(std::move(g), std::move(args));
+        }
+        if (cmd == "sample" && !args.empty()) {
+            Aig g = load_design(args[0]);
+            args.erase(args.begin());
+            return cmd_sample(std::move(g), std::move(args));
+        }
+        if (cmd == "apply" && !args.empty()) {
+            Aig g = load_design(args[0]);
+            args.erase(args.begin());
+            return cmd_apply(std::move(g), std::move(args));
+        }
+        if (cmd == "cec" && args.size() == 2) {
+            const Aig a = load_design(args[0]);
+            const Aig b = load_design(args[1]);
+            auto verdict = bg::aig::check_equivalence(a, b);
+            if (verdict == bg::aig::CecVerdict::ProbablyEquivalent) {
+                // Simulation could not decide: escalate to the SAT engine.
+                verdict = bg::sat::check_equivalence_sat(a, b);
+                std::printf("%s (SAT-proven)\n",
+                            bg::aig::to_string(verdict).c_str());
+            } else {
+                std::printf("%s\n", bg::aig::to_string(verdict).c_str());
+            }
+            return verdict == bg::aig::CecVerdict::NotEquivalent ? 1 : 0;
+        }
+        if (cmd == "map" && !args.empty()) {
+            Aig g = load_design(args[0]);
+            args.erase(args.begin());
+            const auto k_arg = flag_value(args, "-k");
+            bg::opt::LutMapParams p;
+            p.k = k_arg ? static_cast<unsigned>(std::atoi(k_arg->c_str()))
+                        : 6;
+            const auto m = bg::opt::map_to_luts(g, p);
+            std::printf("%u-LUT mapping: %zu LUTs, depth %u "
+                        "(from %zu AND nodes, depth %u)\n",
+                        p.k, m.num_luts(), m.depth, g.num_ands(), g.depth());
+            return 0;
+        }
+        if (cmd == "convert" && args.size() == 2) {
+            save_design(load_design(args[0]), args[1]);
+            return 0;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,102 @@
+/// \file quickstart.cpp
+/// Five-minute tour of the BoolGebra API, recreating the paper's Fig. 1
+/// story: a small redundant AIG where each stand-alone optimization
+/// (rw / rs / rf) finds something, but an orchestrated per-node
+/// assignment (Algorithm 1) beats all three.
+
+#include <cstdio>
+
+#include "aig/aig.hpp"
+#include "aig/cec.hpp"
+#include "opt/orchestrate.hpp"
+#include "opt/standalone.hpp"
+#include "util/progress.hpp"
+#include "util/rng.hpp"
+
+using namespace bg::aig;  // NOLINT: example brevity
+using bg::opt::OpKind;
+
+namespace {
+
+/// A small network in the spirit of the paper's Fig. 1: a degenerate mux
+/// (rw food), a distributed product (rf food) and a re-derived conjunction
+/// (rs food), entangled through shared fanins.
+Aig build_example() {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit d = g.add_pi();
+    const Lit e = g.add_pi();
+
+    // Degenerate mux: f1 = e ? (a b) : (a b) -- collapses to a b.
+    const Lit ab = g.and_(a, b);
+    const Lit f1 = g.or_(g.and_(e, ab), g.and_(lit_not(e), ab));
+
+    // Distributed product: f2 = c d + c e  (factors to c (d + e)).
+    const Lit f2 = g.or_(g.and_(c, d), g.and_(c, e));
+
+    // Re-derived conjunction: (a b) d built again as a (b d).
+    const Lit g1 = g.and_(ab, d);
+    const Lit g2 = g.and_(a, g.and_(b, d));
+
+    g.add_po(g.and_(f1, f2));
+    g.add_po(g1);
+    g.add_po(g.or_(g2, e));
+    return g;
+}
+
+}  // namespace
+
+int main() {
+    const Aig original = build_example();
+    std::printf("original AIG: %s, depth %u\n",
+                original.to_string().c_str(), Aig(original).depth());
+
+    // --- stand-alone passes (what ABC's rewrite/resub/refactor do) ------
+    for (const OpKind op : {OpKind::Rewrite, OpKind::Resub,
+                            OpKind::Refactor}) {
+        Aig g = original;
+        const auto res = bg::opt::standalone_pass(g, op);
+        std::printf("stand-alone %-4s : %3zu -> %3zu nodes (%d removed)\n",
+                    bg::opt::to_string(op).c_str(), res.original_size,
+                    res.final_size, res.reduction());
+        if (!likely_equivalent(original, g)) {
+            std::printf("ERROR: function changed!\n");
+            return 1;
+        }
+    }
+
+    // --- orchestrated traversals (Algorithm 1): search a few random
+    // per-node assignments from the 3^N space and keep the best ----------
+    bg::Rng rng(7);
+    Aig best_graph = original;
+    bg::opt::DecisionVector best_decisions;
+    for (int trial = 0; trial < 64; ++trial) {
+        Aig g = original;
+        bg::opt::DecisionVector decisions(g.num_slots(), OpKind::None);
+        for (Var v = 0; v < g.num_slots(); ++v) {
+            if (g.is_and(v)) {
+                decisions[v] = bg::opt::op_from_index(
+                    static_cast<int>(rng.next_below(3)));
+            }
+        }
+        (void)bg::opt::orchestrate(g, decisions);
+        if (g.num_ands() < best_graph.num_ands()) {
+            best_graph = g;
+            best_decisions = decisions;
+        }
+    }
+    std::printf("orchestrated     :  %zu -> %3zu nodes (best of 64 random "
+                "per-node assignments)\n",
+                original.num_ands(), best_graph.num_ands());
+    if (check_equivalence(original, best_graph) != CecVerdict::Equivalent) {
+        std::printf("ERROR: function changed!\n");
+        return 1;
+    }
+    std::printf("equivalence      : %s\n",
+                to_string(check_equivalence(original, best_graph)).c_str());
+    std::printf("\nthe mixed per-node assignment beats every stand-alone "
+                "pass — the paper's Fig. 1 observation.\n");
+    return 0;
+}

@@ -1,0 +1,437 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bg::aig {
+
+Aig::Aig() {
+    // Slot 0 is the constant-FALSE node.
+    nodes_.emplace_back();
+    fanouts_.emplace_back();
+}
+
+Var Aig::new_node() {
+    nodes_.emplace_back();
+    fanouts_.emplace_back();
+    return static_cast<Var>(nodes_.size() - 1);
+}
+
+Lit Aig::add_pi() {
+    const Var v = new_node();
+    nodes_[v].is_pi = true;
+    pis_.push_back(v);
+    return make_lit(v);
+}
+
+std::vector<Lit> Aig::add_pis(std::size_t n) {
+    std::vector<Lit> lits;
+    lits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        lits.push_back(add_pi());
+    }
+    return lits;
+}
+
+std::size_t Aig::add_po(Lit l) {
+    BG_EXPECTS(lit_var(l) < nodes_.size(), "PO literal out of range");
+    BG_EXPECTS(!is_dead(lit_var(l)), "PO driven by a dead node");
+    ref_var(lit_var(l));
+    pos_.push_back(l);
+    return pos_.size() - 1;
+}
+
+Lit Aig::lookup_and(Lit a, Lit b) const {
+    BG_EXPECTS(lit_var(a) < nodes_.size() && lit_var(b) < nodes_.size(),
+               "AND fanin literal out of range");
+    // Trivial simplifications mirror and_().
+    if (a == lit_false || b == lit_false) {
+        return lit_false;
+    }
+    if (a == lit_true) {
+        return b;
+    }
+    if (b == lit_true) {
+        return a;
+    }
+    if (a == b) {
+        return a;
+    }
+    if (a == lit_not(b)) {
+        return lit_false;
+    }
+    if (a > b) {
+        std::swap(a, b);
+    }
+    const auto it = strash_.find(strash_key(a, b));
+    if (it == strash_.end()) {
+        return null_lit;
+    }
+    return make_lit(it->second);
+}
+
+Lit Aig::and_(Lit a, Lit b) {
+    const Lit found = lookup_and(a, b);
+    if (found != null_lit) {
+        return found;
+    }
+    BG_EXPECTS(!is_dead(lit_var(a)) && !is_dead(lit_var(b)),
+               "AND over a dead fanin");
+    if (a > b) {
+        std::swap(a, b);
+    }
+    const Var v = new_node();
+    nodes_[v].fanin0 = a;
+    nodes_[v].fanin1 = b;
+    ref_var(lit_var(a));
+    ref_var(lit_var(b));
+    fanout_add(lit_var(a), v);
+    fanout_add(lit_var(b), v);
+    strash_.emplace(strash_key(a, b), v);
+    ++num_ands_;
+    return make_lit(v);
+}
+
+Lit Aig::xor_(Lit a, Lit b) {
+    // a ^ b = !(!(a & !b) & !(!a & b))
+    const Lit t0 = and_(a, lit_not(b));
+    const Lit t1 = and_(lit_not(a), b);
+    return or_(t0, t1);
+}
+
+Lit Aig::mux_(Lit c, Lit t, Lit e) {
+    const Lit t0 = and_(c, t);
+    const Lit t1 = and_(lit_not(c), e);
+    return or_(t0, t1);
+}
+
+Lit Aig::maj_(Lit a, Lit b, Lit c) {
+    return or_(and_(a, b), or_(and_(a, c), and_(b, c)));
+}
+
+Lit Aig::and_reduce(std::span<const Lit> lits) {
+    if (lits.empty()) {
+        return lit_true;
+    }
+    std::vector<Lit> cur(lits.begin(), lits.end());
+    while (cur.size() > 1) {
+        std::vector<Lit> next;
+        next.reserve((cur.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+            next.push_back(and_(cur[i], cur[i + 1]));
+        }
+        if (cur.size() % 2 == 1) {
+            next.push_back(cur.back());
+        }
+        cur = std::move(next);
+    }
+    return cur[0];
+}
+
+Lit Aig::or_reduce(std::span<const Lit> lits) {
+    std::vector<Lit> inv;
+    inv.reserve(lits.size());
+    for (const Lit l : lits) {
+        inv.push_back(lit_not(l));
+    }
+    return lit_not(and_reduce(inv));
+}
+
+std::size_t Aig::po_refs(Var v) const {
+    std::size_t n = 0;
+    for (const Lit po : pos_) {
+        n += lit_var(po) == v ? 1 : 0;
+    }
+    return n;
+}
+
+void Aig::fanout_add(Var fanin, Var fanout) {
+    fanouts_[fanin].push_back(fanout);
+}
+
+void Aig::fanout_remove(Var fanin, Var fanout) {
+    auto& list = fanouts_[fanin];
+    const auto it = std::find(list.begin(), list.end(), fanout);
+    BG_ASSERT(it != list.end(), "fanout record missing during removal");
+    *it = list.back();
+    list.pop_back();
+}
+
+void Aig::update_levels() {
+    for (const Var v : topo_all()) {
+        auto& n = nodes_[v];
+        if (n.is_and()) {
+            n.level = 1 + std::max(nodes_[lit_var(n.fanin0)].level,
+                                   nodes_[lit_var(n.fanin1)].level);
+        } else {
+            n.level = 0;
+        }
+    }
+}
+
+std::uint32_t Aig::depth() {
+    update_levels();
+    std::uint32_t d = 0;
+    for (const Lit po : pos_) {
+        d = std::max(d, nodes_[lit_var(po)].level);
+    }
+    return d;
+}
+
+std::vector<Var> Aig::topo_all() const {
+    // Kahn's algorithm over live nodes; const and PIs lead.
+    std::vector<Var> order;
+    order.reserve(nodes_.size());
+    std::vector<std::uint32_t> pending(nodes_.size(), 0);
+    std::vector<Var> ready;
+    for (Var v = 0; v < nodes_.size(); ++v) {
+        if (nodes_[v].dead) {
+            continue;
+        }
+        if (nodes_[v].is_and()) {
+            pending[v] = 2;
+        } else {
+            ready.push_back(v);
+        }
+    }
+    while (!ready.empty()) {
+        const Var v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (const Var f : fanouts_[v]) {
+            if (nodes_[f].dead) {
+                continue;
+            }
+            // A node may appear twice in a fanout list only if both fanins
+            // share the var, which and_() precludes; decrement once.
+            BG_ASSERT(pending[f] > 0, "topological ordering underflow");
+            if (--pending[f] == 0) {
+                ready.push_back(f);
+            }
+        }
+    }
+    return order;
+}
+
+std::vector<Var> Aig::topo_ands() const {
+    auto all = topo_all();
+    std::vector<Var> ands;
+    ands.reserve(all.size());
+    for (const Var v : all) {
+        if (nodes_[v].is_and()) {
+            ands.push_back(v);
+        }
+    }
+    return ands;
+}
+
+bool Aig::is_in_tfi(Var root, Var descendant) const {
+    if (root == descendant) {
+        return true;
+    }
+    std::vector<Var> stack{root};
+    std::vector<bool> seen(nodes_.size(), false);
+    seen[root] = true;
+    while (!stack.empty()) {
+        const Var v = stack.back();
+        stack.pop_back();
+        if (!nodes_[v].is_and()) {
+            continue;
+        }
+        for (const Lit f : {nodes_[v].fanin0, nodes_[v].fanin1}) {
+            const Var u = lit_var(f);
+            if (u == descendant) {
+                return true;
+            }
+            if (!seen[u]) {
+                seen[u] = true;
+                stack.push_back(u);
+            }
+        }
+    }
+    return false;
+}
+
+void Aig::delete_unreferenced(Var v) {
+    auto& n = nodes_[v];
+    if (n.dead || !n.is_and() || n.ref > 0) {
+        return;
+    }
+    n.dead = true;
+    --num_ands_;
+    strash_.erase(strash_key(n.fanin0, n.fanin1));
+    for (const Lit f : {n.fanin0, n.fanin1}) {
+        const Var u = lit_var(f);
+        fanout_remove(u, v);
+        deref_var(u);
+        delete_unreferenced(u);
+    }
+    fanouts_[v].clear();
+}
+
+void Aig::patch_fanout(Var fanout, Var v, Lit repl) {
+    auto& fn = nodes_[fanout];
+    BG_ASSERT(!fn.dead, "patching a dead fanout");
+    const bool on0 = lit_var(fn.fanin0) == v;
+    const bool on1 = lit_var(fn.fanin1) == v;
+    BG_ASSERT(on0 != on1, "fanout must reference v on exactly one fanin");
+
+    const Lit other = on0 ? fn.fanin1 : fn.fanin0;
+    const Lit mine = on0 ? fn.fanin0 : fn.fanin1;
+    const Lit substituted = lit_not_cond(repl, lit_is_compl(mine));
+
+    // Would the patched node be trivial or a duplicate?
+    const Lit merged = lookup_and(substituted, other);
+    if (merged != null_lit && lit_var(merged) != fanout) {
+        // The fanout collapses to a constant / existing node: cascade.
+        replace(fanout, merged);
+        return;
+    }
+
+    // Physical in-place patch.
+    strash_.erase(strash_key(fn.fanin0, fn.fanin1));
+    Lit a = substituted;
+    Lit b = other;
+    if (a > b) {
+        std::swap(a, b);
+    }
+    fn.fanin0 = a;
+    fn.fanin1 = b;
+    strash_.emplace(strash_key(a, b), fanout);
+    fanout_remove(v, fanout);
+    deref_var(v);
+    fanout_add(lit_var(repl), fanout);
+    ref_var(lit_var(repl));
+}
+
+void Aig::replace(Var v, Lit repl) {
+    BG_EXPECTS(v < nodes_.size(), "replace: var out of range");
+    BG_EXPECTS(!nodes_[v].dead, "replace: v is dead");
+    BG_EXPECTS(nodes_[v].is_and(), "replace: only AND nodes can be replaced");
+    BG_EXPECTS(!nodes_[lit_var(repl)].dead, "replace: repl is dead");
+    BG_EXPECTS(lit_var(repl) != v, "replace: self-replacement");
+    BG_EXPECTS(!is_in_tfi(lit_var(repl), v),
+               "replace would create a combinational cycle");
+
+    // Keep the replacement alive throughout, even if cascading merges
+    // temporarily strip all its other references.
+    const Var rv = lit_var(repl);
+    ref_var(rv);
+
+    // Patch AND fanouts one at a time; each patch removes exactly one
+    // occurrence of v from its fanout list (possibly recursively).
+    while (!fanouts_[v].empty()) {
+        patch_fanout(fanouts_[v].front(), v, repl);
+    }
+
+    // Patch PO references.
+    for (auto& po : pos_) {
+        if (lit_var(po) == v) {
+            po = lit_not_cond(repl, lit_is_compl(po));
+            deref_var(v);
+            ref_var(rv);
+        }
+    }
+
+    delete_unreferenced(v);
+    deref_var(rv);
+    delete_unreferenced(rv);
+}
+
+Aig Aig::compact(std::vector<Lit>* old_to_new) const {
+    Aig out;
+    std::vector<Lit> map(nodes_.size(), null_lit);
+    map[0] = lit_false;
+    for (const Var v : pis_) {
+        map[v] = out.add_pi();
+    }
+    for (const Var v : topo_ands()) {
+        const Lit f0 = map[lit_var(nodes_[v].fanin0)];
+        const Lit f1 = map[lit_var(nodes_[v].fanin1)];
+        BG_ASSERT(f0 != null_lit && f1 != null_lit,
+                  "compact: fanin not yet mapped");
+        map[v] = out.and_(lit_not_cond(f0, lit_is_compl(nodes_[v].fanin0)),
+                          lit_not_cond(f1, lit_is_compl(nodes_[v].fanin1)));
+    }
+    for (const Lit po : pos_) {
+        const Lit m = map[lit_var(po)];
+        BG_ASSERT(m != null_lit, "compact: PO driver not mapped");
+        out.add_po(lit_not_cond(m, lit_is_compl(po)));
+    }
+    if (old_to_new != nullptr) {
+        *old_to_new = std::move(map);
+    }
+    return out;
+}
+
+void Aig::check_integrity() const {
+    std::vector<std::uint32_t> expected_refs(nodes_.size(), 0);
+    std::size_t live_ands = 0;
+
+    for (Var v = 0; v < nodes_.size(); ++v) {
+        const auto& n = nodes_[v];
+        if (n.dead) {
+            BG_ASSERT(fanouts_[v].empty(), "dead node retains fanouts");
+            continue;
+        }
+        if (!n.is_and()) {
+            continue;
+        }
+        ++live_ands;
+        const Var u0 = lit_var(n.fanin0);
+        const Var u1 = lit_var(n.fanin1);
+        BG_ASSERT(u0 < nodes_.size() && u1 < nodes_.size(),
+                  "fanin out of range");
+        BG_ASSERT(!nodes_[u0].dead && !nodes_[u1].dead,
+                  "live node references a dead fanin");
+        BG_ASSERT(n.fanin0 <= n.fanin1, "fanins not normalized");
+        BG_ASSERT(u0 != u1, "fanins share a variable");
+        ++expected_refs[u0];
+        ++expected_refs[u1];
+        // Fanout symmetry.
+        for (const Var u : {u0, u1}) {
+            const auto& list = fanouts_[u];
+            BG_ASSERT(std::find(list.begin(), list.end(), v) != list.end(),
+                      "fanin lacks the fanout back-reference");
+        }
+        // Strash consistency.
+        const auto it = strash_.find(strash_key(n.fanin0, n.fanin1));
+        BG_ASSERT(it != strash_.end() && it->second == v,
+                  "strash table out of sync with node");
+    }
+    for (const Lit po : pos_) {
+        BG_ASSERT(!nodes_[lit_var(po)].dead, "PO references a dead node");
+        ++expected_refs[lit_var(po)];
+    }
+    for (Var v = 0; v < nodes_.size(); ++v) {
+        if (nodes_[v].dead) {
+            continue;
+        }
+        BG_ASSERT(nodes_[v].ref == expected_refs[v],
+                  "reference count mismatch at var " + std::to_string(v));
+        for (const Var f : fanouts_[v]) {
+            BG_ASSERT(!nodes_[f].dead, "fanout list references a dead node");
+            BG_ASSERT(lit_var(nodes_[f].fanin0) == v ||
+                          lit_var(nodes_[f].fanin1) == v,
+                      "fanout back-reference without matching fanin");
+        }
+    }
+    BG_ASSERT(live_ands == num_ands_, "live AND-node count out of sync");
+    BG_ASSERT(strash_.size() == num_ands_, "strash size out of sync");
+    // Acyclicity: a full topological order must exist.
+    std::size_t live_total = 0;
+    for (Var v = 0; v < nodes_.size(); ++v) {
+        live_total += nodes_[v].dead ? 0 : 1;
+    }
+    BG_ASSERT(topo_all().size() == live_total,
+              "graph contains a combinational cycle");
+}
+
+std::string Aig::to_string() const {
+    std::ostringstream os;
+    os << "aig: pis=" << num_pis() << " pos=" << num_pos()
+       << " ands=" << num_ands();
+    return os.str();
+}
+
+}  // namespace bg::aig

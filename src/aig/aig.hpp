@@ -1,0 +1,181 @@
+#pragma once
+
+/// \file aig.hpp
+/// And-Inverter Graph with structural hashing, reference counting, fanout
+/// tracking and in-place node replacement with cascading merges — the
+/// substrate every optimization in BoolGebra manipulates (the equivalent
+/// of ABC's Aig_Man_t / Dec_GraphUpdateNetwork machinery).
+///
+/// Encoding is AIGER-style: a *literal* is 2*var + complement; var 0 is the
+/// constant-FALSE node, so literal 0 is FALSE and literal 1 is TRUE.
+/// Primary inputs are vars without fanins; AND nodes have exactly two fanin
+/// literals.  Dead (deleted) nodes are tombstoned until compact().
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace bg::aig {
+
+using Var = std::uint32_t;
+using Lit = std::uint32_t;
+
+inline constexpr Lit lit_false = 0;
+inline constexpr Lit lit_true = 1;
+inline constexpr Lit null_lit = 0xFFFFFFFFU;
+inline constexpr Var null_var = 0xFFFFFFFFU;
+
+constexpr Var lit_var(Lit l) { return l >> 1; }
+constexpr bool lit_is_compl(Lit l) { return (l & 1U) != 0; }
+constexpr Lit make_lit(Var v, bool compl_edge = false) {
+    return (v << 1) | (compl_edge ? 1U : 0U);
+}
+constexpr Lit lit_not(Lit l) { return l ^ 1U; }
+constexpr Lit lit_not_cond(Lit l, bool c) { return c ? (l ^ 1U) : l; }
+constexpr Lit lit_regular(Lit l) { return l & ~1U; }
+
+class Aig {
+public:
+    struct Node {
+        Lit fanin0 = null_lit;      ///< null for const / PI
+        Lit fanin1 = null_lit;      ///< null for const / PI
+        std::uint32_t ref = 0;      ///< AND-fanout count + PO references
+        std::uint32_t level = 0;    ///< maintained by update_levels()
+        bool dead = false;
+        bool is_pi = false;
+
+        bool is_and() const { return fanin0 != null_lit; }
+    };
+
+    Aig();
+
+    // -- construction ------------------------------------------------------
+
+    /// Create a primary input; returns its (positive) literal.
+    Lit add_pi();
+    /// Create `n` primary inputs, returning their literals.
+    std::vector<Lit> add_pis(std::size_t n);
+    /// Register a primary output driven by `l`; returns the PO index.
+    std::size_t add_po(Lit l);
+
+    /// Structurally hashed AND with constant/idempotence simplification.
+    Lit and_(Lit a, Lit b);
+    Lit or_(Lit a, Lit b) { return lit_not(and_(lit_not(a), lit_not(b))); }
+    Lit nand_(Lit a, Lit b) { return lit_not(and_(a, b)); }
+    Lit nor_(Lit a, Lit b) { return and_(lit_not(a), lit_not(b)); }
+    Lit xor_(Lit a, Lit b);
+    Lit xnor_(Lit a, Lit b) { return lit_not(xor_(a, b)); }
+    /// if c then t else e.
+    Lit mux_(Lit c, Lit t, Lit e);
+    /// Majority of three.
+    Lit maj_(Lit a, Lit b, Lit c);
+    /// Balanced AND / OR over a list (empty list gives the identity).
+    Lit and_reduce(std::span<const Lit> lits);
+    Lit or_reduce(std::span<const Lit> lits);
+
+    /// Strash lookup *without* node creation; returns null_lit when the
+    /// AND(a, b) node does not already exist and is not trivially reducible.
+    Lit lookup_and(Lit a, Lit b) const;
+
+    // -- queries -----------------------------------------------------------
+
+    std::size_t num_pis() const { return pis_.size(); }
+    std::size_t num_pos() const { return pos_.size(); }
+    /// Number of live AND nodes — the "size" metric of the paper.
+    std::size_t num_ands() const { return num_ands_; }
+    /// Total slots including PIs, constant and tombstones.
+    std::size_t num_slots() const { return nodes_.size(); }
+
+    const Node& node(Var v) const { return nodes_[v]; }
+    bool is_const0(Var v) const { return v == 0; }
+    bool is_pi(Var v) const { return nodes_[v].is_pi; }
+    bool is_and(Var v) const { return nodes_[v].is_and(); }
+    bool is_dead(Var v) const { return nodes_[v].dead; }
+    std::uint32_t ref_count(Var v) const { return nodes_[v].ref; }
+    Lit fanin0(Var v) const { return nodes_[v].fanin0; }
+    Lit fanin1(Var v) const { return nodes_[v].fanin1; }
+
+    std::span<const Var> pis() const { return pis_; }
+    std::span<const Lit> pos() const { return pos_; }
+    Lit po(std::size_t i) const { return pos_[i]; }
+    Var pi(std::size_t i) const { return pis_[i]; }
+
+    /// Live AND-node fanouts of v (PO references are not listed here).
+    std::span<const Var> fanouts(Var v) const { return fanouts_[v]; }
+    /// Number of POs driven by v (either phase).
+    std::size_t po_refs(Var v) const;
+
+    // -- levels / depth ----------------------------------------------------
+
+    /// Recompute levels of all live nodes (PI level 0, AND = 1 + max fanin).
+    void update_levels();
+    std::uint32_t level(Var v) const { return nodes_[v].level; }
+    /// Longest PI-to-PO path in AND nodes; calls update_levels().
+    std::uint32_t depth();
+
+    // -- traversal ---------------------------------------------------------
+
+    /// Live AND vars in a topological order (fanins before fanouts).
+    std::vector<Var> topo_ands() const;
+    /// All live vars (const, PIs, ANDs) in topological order.
+    std::vector<Var> topo_all() const;
+    /// True if `descendant` is in the transitive fanin cone of `root`
+    /// (inclusive of root itself).
+    bool is_in_tfi(Var root, Var descendant) const;
+
+    // -- restructuring -----------------------------------------------------
+
+    /// Redirect every reference to `v` (AND fanouts and POs) to `repl`,
+    /// propagating trivial simplifications and structural-hash merges
+    /// upward, and deleting cones that become unreferenced.  `repl` must
+    /// not contain `v` in its transitive fanin (checked).
+    void replace(Var v, Lit repl);
+
+    /// Recursively delete an unreferenced AND node and any fanin cone that
+    /// becomes unreferenced.  No-op for PIs/constant.
+    void delete_unreferenced(Var v);
+
+    /// Rebuild into a dense, topologically ordered AIG without tombstones.
+    /// `old_to_new` (optional) receives the literal mapping.
+    Aig compact(std::vector<Lit>* old_to_new = nullptr) const;
+
+    // -- diagnostics -------------------------------------------------------
+
+    /// Full structural audit: ref counts, fanout symmetry, strash
+    /// consistency, acyclicity, no references to dead nodes.  Throws
+    /// ContractViolation on the first inconsistency.
+    void check_integrity() const;
+
+    /// One-line description, e.g. "aig: pis=5 pos=2 ands=37 depth=9".
+    std::string to_string() const;
+
+private:
+    friend class ReplaceScope;
+
+    Var new_node();
+    static std::uint64_t strash_key(Lit a, Lit b) {
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    }
+    void ref_var(Var v) { ++nodes_[v].ref; }
+    void deref_var(Var v) {
+        BG_ASSERT(nodes_[v].ref > 0, "reference count underflow");
+        --nodes_[v].ref;
+    }
+    void fanout_add(Var fanin, Var fanout);
+    void fanout_remove(Var fanin, Var fanout);
+    /// Patch one fanout of `v` during replace(); may recurse.
+    void patch_fanout(Var fanout, Var v, Lit repl);
+
+    std::vector<Node> nodes_;
+    std::vector<std::vector<Var>> fanouts_;
+    std::vector<Var> pis_;
+    std::vector<Lit> pos_;
+    std::unordered_map<std::uint64_t, Var> strash_;
+    std::size_t num_ands_ = 0;
+};
+
+}  // namespace bg::aig

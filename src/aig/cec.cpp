@@ -1,0 +1,79 @@
+#include "aig/cec.hpp"
+
+#include "aig/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace bg::aig {
+
+std::string to_string(CecVerdict v) {
+    switch (v) {
+        case CecVerdict::Equivalent:
+            return "equivalent";
+        case CecVerdict::ProbablyEquivalent:
+            return "probably-equivalent";
+        case CecVerdict::NotEquivalent:
+            return "NOT-equivalent";
+    }
+    return "?";
+}
+
+namespace {
+
+bool po_signatures_match(const Aig& a, const Aig& b, const SimVectors& pats,
+                         std::uint64_t valid_mask_last_word) {
+    const auto sa = po_signatures(a, simulate(a, pats));
+    const auto sb = po_signatures(b, simulate(b, pats));
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        const auto& ra = sa[i];
+        const auto& rb = sb[i];
+        for (std::size_t w = 0; w < ra.size(); ++w) {
+            std::uint64_t diff = ra[w] ^ rb[w];
+            if (w + 1 == ra.size()) {
+                diff &= valid_mask_last_word;
+            }
+            if (diff != 0) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+CecVerdict check_equivalence(const Aig& a, const Aig& b,
+                             const CecOptions& opts) {
+    BG_EXPECTS(a.num_pis() == b.num_pis(),
+               "equivalence check requires matching PI counts");
+    BG_EXPECTS(a.num_pos() == b.num_pos(),
+               "equivalence check requires matching PO counts");
+
+    const std::size_t n = a.num_pis();
+    if (n <= opts.exhaustive_pi_limit) {
+        const auto pats = exhaustive_patterns(n);
+        const std::uint64_t mask =
+            n >= 6 ? ~0ULL : ((1ULL << (std::size_t{1} << n)) - 1);
+        return po_signatures_match(a, b, pats, mask)
+                   ? CecVerdict::Equivalent
+                   : CecVerdict::NotEquivalent;
+    }
+
+    bg::Rng rng(opts.seed);
+    // Split the budget into a few rounds to bound peak memory.
+    const std::size_t rounds = 4;
+    const std::size_t words_per_round =
+        std::max<std::size_t>(1, opts.random_words / rounds);
+    for (std::size_t r = 0; r < rounds; ++r) {
+        const auto pats = random_patterns(n, words_per_round, rng);
+        if (!po_signatures_match(a, b, pats, ~0ULL)) {
+            return CecVerdict::NotEquivalent;
+        }
+    }
+    return CecVerdict::ProbablyEquivalent;
+}
+
+bool likely_equivalent(const Aig& a, const Aig& b, const CecOptions& opts) {
+    return check_equivalence(a, b, opts) != CecVerdict::NotEquivalent;
+}
+
+}  // namespace bg::aig

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file cec.hpp
+/// Combinational equivalence checking between two AIGs with identical
+/// PI/PO interfaces.  Small-input pairs are decided exactly by exhaustive
+/// simulation; larger pairs fall back to extensive random simulation,
+/// which can prove inequivalence and otherwise reports "probably
+/// equivalent".  Every BoolGebra transformation is additionally correct by
+/// construction (window-local truth-table equality), so the random mode is
+/// a safety net, not the primary argument.
+
+#include <cstdint>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace bg::aig {
+
+enum class CecVerdict {
+    Equivalent,          ///< proven by exhaustive simulation
+    ProbablyEquivalent,  ///< no counterexample among random patterns
+    NotEquivalent,       ///< counterexample found (definitive)
+};
+
+std::string to_string(CecVerdict v);
+
+struct CecOptions {
+    /// Use exhaustive simulation when num_pis <= this bound.
+    unsigned exhaustive_pi_limit = 14;
+    /// Random words per PI in the fallback (64 patterns each).
+    std::size_t random_words = 2048;
+    std::uint64_t seed = 0xB001'6EB2A;
+};
+
+/// Check that a and b implement the same multi-output function.
+/// Throws ContractViolation when the PI/PO counts differ.
+CecVerdict check_equivalence(const Aig& a, const Aig& b,
+                             const CecOptions& opts = {});
+
+/// Convenience predicate: Equivalent or ProbablyEquivalent.
+bool likely_equivalent(const Aig& a, const Aig& b,
+                       const CecOptions& opts = {});
+
+}  // namespace bg::aig

@@ -1,0 +1,89 @@
+#include "aig/simulation.hpp"
+
+namespace bg::aig {
+
+SimVectors simulate(const Aig& g, const SimVectors& pi_patterns) {
+    BG_EXPECTS(pi_patterns.size() == g.num_pis(),
+               "one pattern row required per PI");
+    const std::size_t words = pi_patterns.empty() ? 1 : pi_patterns[0].size();
+    for (const auto& row : pi_patterns) {
+        BG_EXPECTS(row.size() == words, "pattern rows must have equal width");
+    }
+
+    SimVectors sigs(g.num_slots());
+    sigs[0].assign(words, 0);  // constant false
+    for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        sigs[g.pi(i)] = pi_patterns[i];
+    }
+    for (const Var v : g.topo_ands()) {
+        const Lit f0 = g.fanin0(v);
+        const Lit f1 = g.fanin1(v);
+        const auto& a = sigs[lit_var(f0)];
+        const auto& b = sigs[lit_var(f1)];
+        BG_ASSERT(!a.empty() && !b.empty(), "fanin simulated out of order");
+        auto& out = sigs[v];
+        out.resize(words);
+        const std::uint64_t ca = lit_is_compl(f0) ? ~0ULL : 0ULL;
+        const std::uint64_t cb = lit_is_compl(f1) ? ~0ULL : 0ULL;
+        for (std::size_t w = 0; w < words; ++w) {
+            out[w] = (a[w] ^ ca) & (b[w] ^ cb);
+        }
+    }
+    return sigs;
+}
+
+SimVectors po_signatures(const Aig& g, const SimVectors& node_sigs) {
+    SimVectors out(g.num_pos());
+    for (std::size_t i = 0; i < g.num_pos(); ++i) {
+        const Lit po = g.po(i);
+        const auto& sig = node_sigs[lit_var(po)];
+        out[i] = sig;
+        if (lit_is_compl(po)) {
+            for (auto& w : out[i]) {
+                w = ~w;
+            }
+        }
+        // Mask tail bits beyond the pattern count is the caller's concern;
+        // all comparisons in this library are word-aligned.
+    }
+    return out;
+}
+
+SimVectors exhaustive_patterns(std::size_t num_pis) {
+    BG_EXPECTS(num_pis <= 20, "exhaustive simulation capped at 20 PIs");
+    const std::size_t bits = std::size_t{1} << num_pis;
+    const std::size_t words = bits <= 64 ? 1 : bits / 64;
+    SimVectors rows(num_pis);
+    static constexpr std::uint64_t small[6] = {
+        0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+        0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+    };
+    for (std::size_t i = 0; i < num_pis; ++i) {
+        rows[i].resize(words);
+        if (i < 6) {
+            for (auto& w : rows[i]) {
+                w = small[i];
+            }
+        } else {
+            const std::size_t block = std::size_t{1} << (i - 6);
+            for (std::size_t w = 0; w < words; ++w) {
+                rows[i][w] = ((w / block) & 1U) ? ~0ULL : 0ULL;
+            }
+        }
+    }
+    return rows;
+}
+
+SimVectors random_patterns(std::size_t num_pis, std::size_t words,
+                           bg::Rng& rng) {
+    SimVectors rows(num_pis);
+    for (auto& row : rows) {
+        row.resize(words);
+        for (auto& w : row) {
+            w = rng.next_u64();
+        }
+    }
+    return rows;
+}
+
+}  // namespace bg::aig

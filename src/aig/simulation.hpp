@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file simulation.hpp
+/// Word-parallel (64 patterns per word) simulation of AIGs.  Used for
+/// semi-formal equivalence checking, window function computation and the
+/// test suite's functional-preservation properties.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace bg::aig {
+
+/// One simulation signature per variable; signature[v][w] holds patterns
+/// [64w, 64w+63] of var v.
+using SimVectors = std::vector<std::vector<std::uint64_t>>;
+
+/// Simulate all live nodes given per-PI input words.  `pi_patterns` must
+/// contain num_pis() rows of equal width.  The result is indexed by Var;
+/// dead slots hold empty vectors.
+SimVectors simulate(const Aig& g, const SimVectors& pi_patterns);
+
+/// Per-PO signatures derived from a full simulation.
+SimVectors po_signatures(const Aig& g, const SimVectors& node_sigs);
+
+/// Exhaustive patterns: PI i carries the projection function x_i over
+/// 2^num_pis minterms.  Requires num_pis <= 20 (1 MiB of words per node at
+/// the limit).
+SimVectors exhaustive_patterns(std::size_t num_pis);
+
+/// `words` words of uniform random patterns per PI.
+SimVectors random_patterns(std::size_t num_pis, std::size_t words, bg::Rng& rng);
+
+}  // namespace bg::aig

@@ -1,0 +1,52 @@
+#include "bdd/cec_bdd.hpp"
+
+#include "util/contracts.hpp"
+
+namespace bg::bdd {
+
+std::vector<BddManager::Ref> build_po_bdds(BddManager& mgr,
+                                           const aig::Aig& g) {
+    BG_EXPECTS(mgr.num_vars() >= g.num_pis(),
+               "manager must have one variable per PI");
+    std::vector<BddManager::Ref> node_bdd(g.num_slots(),
+                                          BddManager::bdd_false);
+    for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        node_bdd[g.pi(i)] = mgr.var(static_cast<unsigned>(i));
+    }
+    const auto lit_bdd = [&](aig::Lit l) {
+        const auto r = node_bdd[aig::lit_var(l)];
+        return aig::lit_is_compl(l) ? mgr.not_(r) : r;
+    };
+    for (const aig::Var v : g.topo_ands()) {
+        node_bdd[v] = mgr.and_(lit_bdd(g.fanin0(v)), lit_bdd(g.fanin1(v)));
+    }
+    std::vector<BddManager::Ref> pos;
+    pos.reserve(g.num_pos());
+    for (const aig::Lit po : g.pos()) {
+        pos.push_back(lit_bdd(po));
+    }
+    return pos;
+}
+
+aig::CecVerdict check_equivalence_bdd(const aig::Aig& a, const aig::Aig& b,
+                                      const BddCecOptions& opts) {
+    BG_EXPECTS(a.num_pis() == b.num_pis(),
+               "equivalence check requires matching PI counts");
+    BG_EXPECTS(a.num_pos() == b.num_pos(),
+               "equivalence check requires matching PO counts");
+    try {
+        BddManager mgr(static_cast<unsigned>(a.num_pis()), opts.node_limit);
+        const auto pa = build_po_bdds(mgr, a);
+        const auto pb = build_po_bdds(mgr, b);
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+            if (pa[i] != pb[i]) {
+                return aig::CecVerdict::NotEquivalent;  // canonical forms
+            }
+        }
+        return aig::CecVerdict::Equivalent;
+    } catch (const BddOverflow&) {
+        return aig::CecVerdict::ProbablyEquivalent;
+    }
+}
+
+}  // namespace bg::bdd

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file cec_bdd.hpp
+/// BDD-based combinational equivalence checking: build both networks'
+/// output diagrams over a shared variable order; canonicity makes the
+/// comparison exact.  Falls back to ProbablyEquivalent when the diagrams
+/// blow past the node limit (the caller can then try SAT).
+
+#include "aig/cec.hpp"
+#include "bdd/bdd.hpp"
+
+namespace bg::bdd {
+
+/// BDD references of every PO of `g` inside `mgr` (PI i = variable i).
+std::vector<BddManager::Ref> build_po_bdds(BddManager& mgr,
+                                           const aig::Aig& g);
+
+struct BddCecOptions {
+    std::size_t node_limit = 2'000'000;
+};
+
+aig::CecVerdict check_equivalence_bdd(const aig::Aig& a, const aig::Aig& b,
+                                      const BddCecOptions& opts = {});
+
+}  // namespace bg::bdd

@@ -1,0 +1,65 @@
+#include "circuits/registry.hpp"
+
+#include <stdexcept>
+
+namespace bg::circuits {
+
+const std::vector<BenchmarkInfo>& benchmark_registry() {
+    static const std::vector<BenchmarkInfo> table = {
+        // ITC'99 control-dominated designs.
+        {"b07", Family::Control, 49, 366, 0xB07},
+        {"b08", Family::Control, 29, 170, 0xB08},
+        {"b09", Family::Control, 28, 160, 0xB09},
+        {"b10", Family::Control, 27, 180, 0xB10},
+        {"b11", Family::Control, 37, 620, 0xB11},
+        {"b12", Family::Control, 125, 1002, 0xB12},
+        // ISCAS85 arithmetic/mux-rich designs.
+        {"c2670", Family::Arithmetic, 157, 717, 0xC2670},
+        {"c5315", Family::Arithmetic, 178, 1773, 0xC5315},
+    };
+    return table;
+}
+
+std::vector<std::string> benchmark_names() {
+    std::vector<std::string> out;
+    for (const auto& info : benchmark_registry()) {
+        out.push_back(info.name);
+    }
+    return out;
+}
+
+const BenchmarkInfo& benchmark_info(const std::string& name) {
+    for (const auto& info : benchmark_registry()) {
+        if (info.name == name) {
+            return info;
+        }
+    }
+    throw std::out_of_range("unknown benchmark: " + name);
+}
+
+aig::Aig make_benchmark(const std::string& name) {
+    const auto& info = benchmark_info(name);
+    GeneratorParams p;
+    p.num_pis = info.num_pis;
+    p.target_ands = info.target_ands;
+    p.family = info.family;
+    p.seed = info.seed;
+    p.max_pos = std::max<std::size_t>(8, info.num_pis / 2);
+    return generate_circuit(p);
+}
+
+aig::Aig make_benchmark_scaled(const std::string& name, double scale) {
+    const auto& info = benchmark_info(name);
+    GeneratorParams p;
+    p.num_pis = std::max(8u, static_cast<unsigned>(
+                                 static_cast<double>(info.num_pis) * scale));
+    p.target_ands = std::max<std::size_t>(
+        60, static_cast<std::size_t>(
+                static_cast<double>(info.target_ands) * scale));
+    p.family = info.family;
+    p.seed = info.seed;
+    p.max_pos = std::max<std::size_t>(8, p.num_pis / 2);
+    return generate_circuit(p);
+}
+
+}  // namespace bg::circuits

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file registry.hpp
+/// Named benchmark registry: deterministic stand-ins for the paper's
+/// ISCAS85 / ITC-ISCAS99 designs, sized to match the sizes the paper
+/// reports or implies (b07=366 and b10=180 are quoted in §IV-A; b12=1002
+/// in §III-C; the rest follow the published netlists' AIG sizes).
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "circuits/generators.hpp"
+
+namespace bg::circuits {
+
+struct BenchmarkInfo {
+    std::string name;
+    Family family = Family::Control;
+    unsigned num_pis = 32;
+    std::size_t target_ands = 400;
+    std::uint64_t seed = 1;
+};
+
+/// All registered designs, in the paper's Table I order.
+const std::vector<BenchmarkInfo>& benchmark_registry();
+
+std::vector<std::string> benchmark_names();
+
+/// Metadata for one design; throws std::out_of_range for unknown names.
+const BenchmarkInfo& benchmark_info(const std::string& name);
+
+/// Build the stand-in circuit for a named design (deterministic).
+aig::Aig make_benchmark(const std::string& name);
+
+/// Scale a design down for fast test/bench runs: same family and seed,
+/// `scale` times fewer AND nodes (at least 60).
+aig::Aig make_benchmark_scaled(const std::string& name, double scale);
+
+}  // namespace bg::circuits

@@ -1,0 +1,65 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace bg::core {
+
+float normalize_label(int reduction, int best_reduction) {
+    if (best_reduction <= 0) {
+        return 0.0F;  // degenerate dataset: nothing was ever reduced
+    }
+    const float label = static_cast<float>(best_reduction - reduction) /
+                        static_cast<float>(best_reduction);
+    return std::clamp(label, 0.0F, 1.0F);
+}
+
+Dataset build_dataset(const aig::Aig& design,
+                      std::span<const SampleRecord> records,
+                      const opt::OptParams& params, const FeatureConfig& cfg) {
+    Dataset ds;
+    ds.num_nodes_ = design.num_slots();
+    ds.csr_ = build_csr(design);
+
+    const StaticFeatures st = compute_static_features(design, params);
+
+    int best = 0;
+    for (const auto& rec : records) {
+        best = std::max(best, rec.reduction);
+    }
+    ds.best_reduction_ = best;
+
+    ds.samples_.reserve(records.size());
+    for (const auto& rec : records) {
+        DatasetSample s;
+        const DynamicFeatures dy =
+            compute_dynamic_features(design, rec.applied);
+        s.features = assemble_features(st, dy, cfg);
+        s.label = normalize_label(rec.reduction, best);
+        s.reduction = rec.reduction;
+        ds.samples_.push_back(std::move(s));
+    }
+    return ds;
+}
+
+Dataset::Split Dataset::split(double train_fraction,
+                              std::uint64_t seed) const {
+    BG_EXPECTS(train_fraction > 0.0 && train_fraction <= 1.0,
+               "train fraction must lie in (0, 1]");
+    std::vector<std::size_t> idx(samples_.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        idx[i] = i;
+    }
+    bg::Rng rng(seed);
+    rng.shuffle(idx);
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(idx.size()));
+    Split s;
+    s.train.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(cut));
+    s.test.assign(idx.begin() + static_cast<std::ptrdiff_t>(cut), idx.end());
+    return s;
+}
+
+}  // namespace bg::core

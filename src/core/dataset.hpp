@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file dataset.hpp
+/// Training-data assembly (§III-C.1 "Data Normalization"): one design
+/// yields one graph (CSR + static features) and many samples (dynamic
+/// features + label).  Labels are normalized against the best reduction
+/// in the dataset:  label = (best_red − red) / best_red, so 0 is the best
+/// sample and 1 the worst; the model learns to *rank* candidates.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/features.hpp"
+#include "core/sampling.hpp"
+
+namespace bg::core {
+
+struct DatasetSample {
+    std::vector<float> features;  ///< N x feature_dim, row-major
+    float label = 0.0F;           ///< normalized, 0 = best
+    int reduction = 0;            ///< raw node reduction
+};
+
+class Dataset {
+public:
+    Dataset() = default;
+
+    std::size_t num_nodes() const { return num_nodes_; }
+    const GraphCsr& csr() const { return csr_; }
+    std::span<const DatasetSample> samples() const { return samples_; }
+    std::size_t size() const { return samples_.size(); }
+    int best_reduction() const { return best_reduction_; }
+
+    /// Split into train/test by a deterministic shuffle.
+    struct Split {
+        std::vector<std::size_t> train;
+        std::vector<std::size_t> test;
+    };
+    Split split(double train_fraction, std::uint64_t seed) const;
+
+    friend Dataset build_dataset(const aig::Aig& design,
+                                 std::span<const SampleRecord> records,
+                                 const opt::OptParams& params,
+                                 const FeatureConfig& cfg);
+
+private:
+    std::size_t num_nodes_ = 0;
+    GraphCsr csr_;
+    std::vector<DatasetSample> samples_;
+    int best_reduction_ = 0;
+};
+
+/// Build a dataset for one design from evaluated sample records.
+Dataset build_dataset(const aig::Aig& design,
+                      std::span<const SampleRecord> records,
+                      const opt::OptParams& params = {},
+                      const FeatureConfig& cfg = {});
+
+/// Normalized label for a raw reduction given the dataset's best.
+float normalize_label(int reduction, int best_reduction);
+
+}  // namespace bg::core

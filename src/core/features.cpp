@@ -1,0 +1,125 @@
+#include "core/features.hpp"
+
+#include "util/contracts.hpp"
+#include "util/parallel.hpp"
+
+namespace bg::core {
+
+using aig::Aig;
+using aig::Var;
+using opt::OpKind;
+
+StaticFeatures compute_static_features(const Aig& g,
+                                       const opt::OptParams& params) {
+    StaticFeatures rows(g.num_slots());
+    // The three checks are read-only, so per-node work parallelizes.
+    bg::parallel_for(g.num_slots(), [&](std::size_t i) {
+        const Var v = static_cast<Var>(i);
+        auto& row = rows[v];
+        if (!g.is_and(v) || g.is_dead(v)) {
+            row.fill(pi_fill);  // PIs, the constant, and tombstones
+            return;
+        }
+        row[0] = aig::lit_is_compl(g.fanin0(v)) ? 1.0F : 0.0F;
+        row[1] = aig::lit_is_compl(g.fanin1(v)) ? 1.0F : 0.0F;
+        const OpKind ops[3] = {OpKind::Rewrite, OpKind::Resub,
+                               OpKind::Refactor};
+        for (int k = 0; k < 3; ++k) {
+            const auto res = opt::check_op(g, v, ops[k], params);
+            row[2 + 2 * k] = res.applicable ? 1.0F : 0.0F;
+            row[3 + 2 * k] =
+                res.applicable ? static_cast<float>(res.gain) : -1.0F;
+        }
+    });
+    return rows;
+}
+
+DynamicFeatures compute_dynamic_features(const Aig& g,
+                                         std::span<const OpKind> applied) {
+    BG_EXPECTS(applied.size() >= g.num_slots(),
+               "applied-op trace must cover every var");
+    DynamicFeatures rows(g.num_slots());
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        auto& row = rows[v];
+        if (!g.is_and(v) || g.is_dead(v)) {
+            row.fill(pi_fill);
+            continue;
+        }
+        row.fill(0.0F);
+        switch (applied[v]) {
+            case OpKind::None:
+                row[0] = 1.0F;
+                break;
+            case OpKind::Rewrite:
+                row[1] = 1.0F;
+                break;
+            case OpKind::Resub:
+                row[2] = 1.0F;
+                break;
+            case OpKind::Refactor:
+                row[3] = 1.0F;
+                break;
+        }
+    }
+    return rows;
+}
+
+std::vector<float> assemble_features(const StaticFeatures& st,
+                                     const DynamicFeatures& dy,
+                                     const FeatureConfig& cfg) {
+    BG_EXPECTS(st.size() == dy.size(),
+               "static/dynamic row counts must match");
+    std::vector<float> out(st.size() * feature_dim, 0.0F);
+    for (std::size_t v = 0; v < st.size(); ++v) {
+        float* row = &out[v * feature_dim];
+        if (cfg.use_static) {
+            for (int i = 0; i < static_dim; ++i) {
+                row[i] = st[v][i];
+            }
+        }
+        if (cfg.use_dynamic) {
+            for (int i = 0; i < dynamic_dim; ++i) {
+                row[static_dim + i] = dy[v][i];
+            }
+        }
+    }
+    return out;
+}
+
+GraphCsr build_csr(const Aig& g) {
+    const std::size_t n = g.num_slots();
+    std::vector<std::int32_t> degree(n, 0);
+    for (Var v = 0; v < n; ++v) {
+        if (!g.is_and(v) || g.is_dead(v)) {
+            continue;
+        }
+        const Var u0 = aig::lit_var(g.fanin0(v));
+        const Var u1 = aig::lit_var(g.fanin1(v));
+        degree[v] += 2;
+        ++degree[u0];
+        ++degree[u1];
+    }
+    GraphCsr csr;
+    csr.offsets.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        csr.offsets[v + 1] = csr.offsets[v] + degree[v];
+    }
+    csr.neighbors.assign(static_cast<std::size_t>(csr.offsets[n]), 0);
+    std::vector<std::int32_t> cursor(csr.offsets.begin(),
+                                     csr.offsets.end() - 1);
+    for (Var v = 0; v < n; ++v) {
+        if (!g.is_and(v) || g.is_dead(v)) {
+            continue;
+        }
+        for (const auto f : {g.fanin0(v), g.fanin1(v)}) {
+            const Var u = aig::lit_var(f);
+            csr.neighbors[static_cast<std::size_t>(cursor[v]++)] =
+                static_cast<std::int32_t>(u);
+            csr.neighbors[static_cast<std::size_t>(cursor[u]++)] =
+                static_cast<std::int32_t>(v);
+        }
+    }
+    return csr;
+}
+
+}  // namespace bg::core

@@ -1,0 +1,149 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/parallel.hpp"
+
+namespace bg::core {
+
+using aig::Aig;
+using aig::Var;
+using opt::DecisionVector;
+using opt::OpKind;
+
+std::vector<OpKind> predicted_applied(const Aig& g, const DecisionVector& d,
+                                      const StaticFeatures& st) {
+    BG_EXPECTS(d.size() >= g.num_slots() && st.size() >= g.num_slots(),
+               "decisions and features must cover every var");
+    std::vector<OpKind> applied(g.num_slots(), OpKind::None);
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        if (!g.is_and(v) || g.is_dead(v) || d[v] == OpKind::None) {
+            continue;
+        }
+        // Feature layout: applicability flags at columns 2 (rw), 4 (rs),
+        // 6 (rf).
+        const int col = 2 + 2 * opt::op_index(d[v]);
+        if (st[v][static_cast<std::size_t>(col)] > 0.5F) {
+            applied[v] = d[v];
+        }
+    }
+    return applied;
+}
+
+std::vector<DecisionVector> generate_decisions(const Aig& design,
+                                               std::size_t n, bool guided,
+                                               std::uint64_t seed,
+                                               const StaticFeatures& st) {
+    bg::Rng rng(seed);
+    std::vector<DecisionVector> out;
+    out.reserve(n);
+    if (!guided) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(random_decisions(design, rng));
+        }
+        return out;
+    }
+    const DecisionVector base = priority_decisions(design, st, rng);
+    if (n > 0) {
+        out.push_back(base);
+    }
+    static constexpr double fractions[] = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.6, 0.7, 0.8, 0.9};
+    for (std::size_t i = 1; i < n; ++i) {
+        const double frac = fractions[(i - 1) % std::size(fractions)];
+        out.push_back(mutate_decisions(design, base, frac, rng));
+    }
+    return out;
+}
+
+FlowResult run_flow(const Aig& design, BoolGebraModel& model,
+                    const FlowConfig& cfg) {
+    BG_EXPECTS(cfg.num_samples > 0 && cfg.top_k > 0,
+               "flow needs samples and a positive top-k");
+    FlowResult res;
+    res.original_size = design.num_ands();
+
+    // Step 1: sample decision vectors.
+    const StaticFeatures st = compute_static_features(design, cfg.opt);
+    const auto decisions = generate_decisions(design, cfg.num_samples,
+                                              cfg.guided, cfg.seed, st);
+
+    // Step 2: prune with the predictor (cheap estimated dynamic features).
+    const GraphCsr csr = build_csr(design);
+    std::vector<std::vector<float>> feature_rows(decisions.size());
+    bg::parallel_for(decisions.size(), [&](std::size_t i) {
+        const auto applied = predicted_applied(design, decisions[i], st);
+        const auto dy = compute_dynamic_features(design, applied);
+        feature_rows[i] = assemble_features(st, dy, cfg.features);
+    });
+    res.predictions = model.predict_features(csr, design.num_slots(),
+                                             feature_rows);
+
+    // Step 3: evaluate the top-k exactly (smaller score = better).
+    std::vector<std::size_t> order(decisions.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return res.predictions[a] < res.predictions[b];
+                     });
+    const std::size_t k = std::min(cfg.top_k, order.size());
+    res.selected.assign(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(k));
+
+    std::vector<SampleRecord> evaluated(k);
+    bg::parallel_for(k, [&](std::size_t i) {
+        evaluated[i] =
+            evaluate_decisions(design, decisions[res.selected[i]], cfg.opt);
+    });
+    double sum_ratio = 0.0;
+    double sum_reduction = 0.0;
+    for (std::size_t i = 0; i < evaluated.size(); ++i) {
+        const auto& rec = evaluated[i];
+        res.reductions.push_back(rec.reduction);
+        if (rec.reduction > res.best_reduction ||
+            res.best_decisions.empty()) {
+            res.best_reduction = std::max(res.best_reduction, rec.reduction);
+            res.best_decisions = decisions[res.selected[i]];
+        }
+        sum_reduction += rec.reduction;
+        sum_ratio += static_cast<double>(rec.final_size) /
+                     static_cast<double>(res.original_size);
+    }
+    res.mean_reduction = sum_reduction / static_cast<double>(k);
+    res.bg_mean_ratio = sum_ratio / static_cast<double>(k);
+    res.bg_best_ratio =
+        static_cast<double>(static_cast<int>(res.original_size) -
+                            res.best_reduction) /
+        static_cast<double>(res.original_size);
+    return res;
+}
+
+IteratedFlowResult run_iterated_flow(const Aig& design, BoolGebraModel& model,
+                                     const FlowConfig& cfg,
+                                     std::size_t max_rounds) {
+    BG_EXPECTS(max_rounds >= 1, "need at least one round");
+    IteratedFlowResult out;
+    out.original_size = design.num_ands();
+    Aig current = design;
+    FlowConfig round_cfg = cfg;
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        round_cfg.seed = cfg.seed + round;  // fresh samples per round
+        const auto flow = run_flow(current, model, round_cfg);
+        if (flow.best_reduction <= 0 || flow.best_decisions.empty()) {
+            break;
+        }
+        // Commit the winning decision vector.
+        auto decisions = flow.best_decisions;
+        (void)opt::orchestrate(current, decisions, round_cfg.opt);
+        current = current.compact();
+        out.per_round_reduction.push_back(flow.best_reduction);
+    }
+    out.final_size = current.num_ands();
+    out.final_ratio = static_cast<double>(out.final_size) /
+                      static_cast<double>(out.original_size);
+    return out;
+}
+
+}  // namespace bg::core

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file flow.hpp
+/// The end-to-end BoolGebra flow (§III-D): (1) sample a large batch of
+/// Boolean-manipulation decision vectors, (2) prune the batch with the
+/// GNN predictor (cheap inference; dynamic features are estimated from
+/// per-node transformability instead of running the graph updates),
+/// (3) evaluate only the top-k predictions exactly and report BG-Mean /
+/// BG-Best (Table I's columns).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "core/sampling.hpp"
+
+namespace bg::core {
+
+struct FlowConfig {
+    std::size_t num_samples = 600;  ///< paper: 600 per design
+    std::size_t top_k = 10;         ///< paper: evaluate the top 10
+    bool guided = true;             ///< priority-guided sampling
+    std::uint64_t seed = 1;
+    opt::OptParams opt;
+    FeatureConfig features;
+};
+
+/// Extension beyond the paper's single-shot flow: run the flow, commit
+/// the best decision vector, and repeat on the optimized graph.  Ratios
+/// accumulate against the *original* size.
+struct IteratedFlowResult {
+    std::size_t original_size = 0;
+    std::size_t final_size = 0;
+    std::vector<int> per_round_reduction;
+    double final_ratio = 1.0;
+
+    std::size_t rounds() const { return per_round_reduction.size(); }
+};
+
+struct FlowResult {
+    std::size_t original_size = 0;
+    /// Model scores for every sampled decision vector (lower = better).
+    std::vector<double> predictions;
+    /// Indices (into the sample batch) of the evaluated top-k.
+    std::vector<std::size_t> selected;
+    /// Exact reductions of the evaluated top-k, same order as `selected`.
+    std::vector<int> reductions;
+
+    int best_reduction = 0;
+    double mean_reduction = 0.0;
+    /// Optimized/original size ratios — the numbers Table I reports.
+    double bg_best_ratio = 1.0;
+    double bg_mean_ratio = 1.0;
+    /// The decision vector achieving best_reduction (for committing).
+    opt::DecisionVector best_decisions;
+};
+
+/// Estimate the applied-op trace without running Algorithm 1: operation
+/// D[v] is predicted to apply wherever the static features say it is
+/// transformable.  This is what makes flow inference cheap.
+std::vector<opt::OpKind> predicted_applied(const aig::Aig& g,
+                                           const opt::DecisionVector& d,
+                                           const StaticFeatures& st);
+
+/// Generate decision vectors only (no evaluation): the flow's step 1.
+std::vector<opt::DecisionVector> generate_decisions(
+    const aig::Aig& design, std::size_t n, bool guided, std::uint64_t seed,
+    const StaticFeatures& st);
+
+/// Run the full sample -> prune -> evaluate flow on one design.
+FlowResult run_flow(const aig::Aig& design, BoolGebraModel& model,
+                    const FlowConfig& cfg = {});
+
+/// Run up to `max_rounds` flows, committing each round's best candidate;
+/// stops early when a round finds no reduction.
+IteratedFlowResult run_iterated_flow(const aig::Aig& design,
+                                     BoolGebraModel& model,
+                                     const FlowConfig& cfg = {},
+                                     std::size_t max_rounds = 3);
+
+}  // namespace bg::core

@@ -1,0 +1,258 @@
+#include "core/model.hpp"
+
+#include <fstream>
+
+#include "core/dataset.hpp"
+#include "util/contracts.hpp"
+
+namespace bg::core {
+
+using nn::Matrix;
+
+BoolGebraModel::BoolGebraModel(const ModelConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      bn0_(static_cast<std::size_t>(cfg.mlp_dims.at(0))),
+      bn1_(static_cast<std::size_t>(cfg.mlp_dims.at(1))) {
+    BG_EXPECTS(cfg.sage_dims.size() == 3, "the paper uses three conv layers");
+    BG_EXPECTS(cfg.mlp_dims.size() == 3 && cfg.mlp_dims.back() == 1,
+               "the paper uses a three-layer regression head");
+    bg::Rng init(cfg.seed);
+    int in = cfg.in_dim;
+    for (const int out : cfg.sage_dims) {
+        convs_.emplace_back(static_cast<std::size_t>(in),
+                            static_cast<std::size_t>(out), init);
+        conv_act_.emplace_back();
+        conv_drop_.emplace_back(cfg.dropout);
+        in = out;
+    }
+    for (const int out : cfg.mlp_dims) {
+        linears_.emplace_back(static_cast<std::size_t>(in),
+                              static_cast<std::size_t>(out), init);
+        in = out;
+    }
+}
+
+void BoolGebraModel::set_input_stats(std::vector<float> mean,
+                                     std::vector<float> stddev) {
+    BG_EXPECTS(mean.size() == static_cast<std::size_t>(cfg_.in_dim) &&
+                   stddev.size() == static_cast<std::size_t>(cfg_.in_dim),
+               "input statistics must match the input width");
+    in_mean_ = std::move(mean);
+    in_std_ = std::move(stddev);
+    for (auto& s : in_std_) {
+        if (s <= 1e-12F) {
+            s = 1.0F;  // constant column: leave it centred only
+        }
+    }
+}
+
+Matrix BoolGebraModel::standardized(const Matrix& x) const {
+    if (!cfg_.standardize_inputs || in_mean_.empty()) {
+        return x;
+    }
+    Matrix y = x;
+    const std::size_t f = y.cols();
+    for (std::size_t i = 0; i < y.rows(); ++i) {
+        float* row = y.row(i);
+        for (std::size_t j = 0; j < f; ++j) {
+            row[j] = (row[j] - in_mean_[j]) / in_std_[j];
+        }
+    }
+    return y;
+}
+
+Matrix BoolGebraModel::forward(const Matrix& x, const nn::Csr& csr,
+                               std::size_t batch, bool train) {
+    BG_EXPECTS(x.rows() == batch * csr.num_nodes(),
+               "feature rows must equal batch * nodes");
+    cache_num_nodes_ = csr.num_nodes();
+    Matrix h = standardized(x);
+    for (std::size_t i = 0; i < convs_.size(); ++i) {
+        h = convs_[i].forward(h, csr, batch);
+        h = conv_act_[i].forward(h);
+        h = conv_drop_[i].forward(h, train, rng_);
+    }
+    Matrix pooled;
+    nn::mean_pool(h, batch, pooled);
+    Matrix y = linears_[0].forward(pooled);
+    y = mlp_act0_.forward(y);
+    y = bn0_.forward(y, train);
+    y = linears_[1].forward(y);
+    y = bn1_.forward(y, train);
+    y = linears_[2].forward(y);
+    return out_act_.forward(y);
+}
+
+void BoolGebraModel::backward(const Matrix& dpred) {
+    Matrix d = out_act_.backward(dpred);
+    d = linears_[2].backward(d);
+    d = bn1_.backward(d);
+    d = linears_[1].backward(d);
+    d = bn0_.backward(d);
+    d = mlp_act0_.backward(d);
+    d = linears_[0].backward(d);
+    Matrix dnodes;
+    nn::mean_pool_backward(d, cache_num_nodes_, dnodes);
+    for (std::size_t i = convs_.size(); i-- > 0;) {
+        dnodes = conv_drop_[i].backward(dnodes);
+        dnodes = conv_act_[i].backward(dnodes);
+        dnodes = convs_[i].backward(dnodes);
+    }
+}
+
+void BoolGebraModel::zero_grad() {
+    for (auto& c : convs_) {
+        c.zero_grad();
+    }
+    for (auto& l : linears_) {
+        l.zero_grad();
+    }
+    bn0_.zero_grad();
+    bn1_.zero_grad();
+}
+
+std::vector<nn::ParamRef> BoolGebraModel::params() {
+    std::vector<nn::ParamRef> out;
+    for (auto& c : convs_) {
+        for (const auto& p : c.params()) {
+            out.push_back(p);
+        }
+    }
+    for (auto& l : linears_) {
+        for (const auto& p : l.params()) {
+            out.push_back(p);
+        }
+    }
+    for (const auto& p : bn0_.params()) {
+        out.push_back(p);
+    }
+    for (const auto& p : bn1_.params()) {
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::size_t BoolGebraModel::num_parameters() {
+    std::size_t n = 0;
+    for (const auto& p : params()) {
+        n += p.size;
+    }
+    return n;
+}
+
+std::vector<double> BoolGebraModel::predict(
+    const Dataset& ds, std::span<const std::size_t> indices,
+    std::size_t batch_size) {
+    std::vector<double> out;
+    out.reserve(indices.size());
+    const std::size_t n = ds.num_nodes();
+    for (std::size_t start = 0; start < indices.size();
+         start += batch_size) {
+        const std::size_t b =
+            std::min(batch_size, indices.size() - start);
+        Matrix x(b * n, static_cast<std::size_t>(cfg_.in_dim));
+        for (std::size_t s = 0; s < b; ++s) {
+            const auto& feats = ds.samples()[indices[start + s]].features;
+            BG_ASSERT(feats.size() == n * static_cast<std::size_t>(cfg_.in_dim),
+                      "sample feature width mismatch");
+            std::copy(feats.begin(), feats.end(), x.row(s * n));
+        }
+        const Matrix pred = forward(x, ds.csr(), b, /*train=*/false);
+        for (std::size_t s = 0; s < b; ++s) {
+            out.push_back(pred.at(s, 0));
+        }
+    }
+    return out;
+}
+
+std::vector<double> BoolGebraModel::predict_features(
+    const nn::Csr& csr, std::size_t num_nodes,
+    std::span<const std::vector<float>> feature_rows,
+    std::size_t batch_size) {
+    std::vector<double> out;
+    out.reserve(feature_rows.size());
+    for (std::size_t start = 0; start < feature_rows.size();
+         start += batch_size) {
+        const std::size_t b =
+            std::min(batch_size, feature_rows.size() - start);
+        Matrix x(b * num_nodes, static_cast<std::size_t>(cfg_.in_dim));
+        for (std::size_t s = 0; s < b; ++s) {
+            const auto& feats = feature_rows[start + s];
+            BG_ASSERT(feats.size() ==
+                          num_nodes * static_cast<std::size_t>(cfg_.in_dim),
+                      "feature width mismatch");
+            std::copy(feats.begin(), feats.end(), x.row(s * num_nodes));
+        }
+        const Matrix pred = forward(x, csr, b, /*train=*/false);
+        for (std::size_t s = 0; s < b; ++s) {
+            out.push_back(pred.at(s, 0));
+        }
+    }
+    return out;
+}
+
+void BoolGebraModel::save(const std::filesystem::path& path) {
+    if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path());
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        throw std::runtime_error("cannot write model file: " + path.string());
+    }
+    const char magic[8] = {'B', 'G', 'M', 'O', 'D', 'E', 'L', '2'};
+    out.write(magic, sizeof magic);
+    const auto stats_len = static_cast<std::uint64_t>(in_mean_.size());
+    out.write(reinterpret_cast<const char*>(&stats_len), sizeof stats_len);
+    out.write(reinterpret_cast<const char*>(in_mean_.data()),
+              static_cast<std::streamsize>(stats_len * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(in_std_.data()),
+              static_cast<std::streamsize>(stats_len * sizeof(float)));
+    for (const auto& p : params()) {
+        const auto sz = static_cast<std::uint64_t>(p.size);
+        out.write(reinterpret_cast<const char*>(&sz), sizeof sz);
+        out.write(reinterpret_cast<const char*>(p.value),
+                  static_cast<std::streamsize>(p.size * sizeof(float)));
+    }
+}
+
+void BoolGebraModel::load(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot read model file: " + path.string());
+    }
+    char magic[8];
+    in.read(magic, sizeof magic);
+    if (std::string(magic, 8) != "BGMODEL2") {
+        throw std::runtime_error("bad model file magic: " + path.string());
+    }
+    std::uint64_t stats_len = 0;
+    in.read(reinterpret_cast<char*>(&stats_len), sizeof stats_len);
+    if (!in || (stats_len != 0 &&
+                stats_len != static_cast<std::uint64_t>(cfg_.in_dim))) {
+        throw std::runtime_error(
+            "model file input-stats width does not match: " + path.string());
+    }
+    in_mean_.assign(stats_len, 0.0F);
+    in_std_.assign(stats_len, 1.0F);
+    in.read(reinterpret_cast<char*>(in_mean_.data()),
+            static_cast<std::streamsize>(stats_len * sizeof(float)));
+    in.read(reinterpret_cast<char*>(in_std_.data()),
+            static_cast<std::streamsize>(stats_len * sizeof(float)));
+    for (auto& p : params()) {
+        std::uint64_t sz = 0;
+        in.read(reinterpret_cast<char*>(&sz), sizeof sz);
+        if (!in || sz != p.size) {
+            throw std::runtime_error(
+                "model file does not match this architecture: " +
+                path.string());
+        }
+        in.read(reinterpret_cast<char*>(p.value),
+                static_cast<std::streamsize>(p.size * sizeof(float)));
+        if (!in) {
+            throw std::runtime_error("truncated model file: " + path.string());
+        }
+    }
+}
+
+}  // namespace bg::core

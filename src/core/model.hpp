@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file model.hpp
+/// The BoolGebra predictor (paper Fig 3g):
+///
+///   GraphConv0 -> ReLU6 -> Dropout -> GraphConv1 -> ReLU6 -> Dropout
+///   -> GraphConv2 -> ReLU6 -> Dropout -> MeanPool
+///   -> Linear0 -> ReLU6 -> BatchNorm0 -> Linear1 -> BatchNorm1
+///   -> Linear2 -> Sigmoid
+///
+/// Paper hyper-parameters: conv dims 12 -> 512 -> 512 -> 64, MLP
+/// 64 -> 1000 -> 200 -> 1, dropout 0.1.  `quick()` shrinks the widths so
+/// CPU-only experiment harnesses finish in seconds; the architecture is
+/// identical.
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "core/features.hpp"
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sage.hpp"
+
+namespace bg::core {
+
+class Dataset;  // dataset.hpp
+
+struct ModelConfig {
+    int in_dim = feature_dim;
+    std::vector<int> sage_dims = {512, 512, 64};
+    std::vector<int> mlp_dims = {1000, 200, 1};
+    float dropout = 0.1F;
+    std::uint64_t seed = 0xB001;
+    /// Standardize input columns with dataset statistics before the first
+    /// convolution.  The paper feeds raw features (PI rows are -99) and
+    /// trains at lr 8e-7; CPU-quick training uses a ~1000x larger rate,
+    /// where the raw -99 scale destabilizes BatchNorm.  Identity until
+    /// set_input_stats() is called (the trainer does it automatically).
+    bool standardize_inputs = true;
+
+    /// The paper's exact architecture.
+    static ModelConfig paper() { return {}; }
+    /// CPU-friendly widths for the quick experiment harnesses.  Dropout is
+    /// disabled: at quick-mode scale (small widths, tens of epochs) the
+    /// dropout noise exceeds the inter-sample signal that survives mean
+    /// pooling; the paper's 1500-epoch regime averages it out.
+    static ModelConfig quick() {
+        ModelConfig c;
+        c.sage_dims = {48, 48, 24};
+        c.mlp_dims = {64, 16, 1};
+        c.dropout = 0.0F;
+        return c;
+    }
+};
+
+class BoolGebraModel {
+public:
+    explicit BoolGebraModel(const ModelConfig& cfg = {});
+
+    const ModelConfig& config() const { return cfg_; }
+
+    /// Forward pass for a batch of samples over one graph.
+    /// `features` is (B * N, in_dim) flattened row-major; returns (B, 1).
+    nn::Matrix forward(const nn::Matrix& x, const nn::Csr& csr,
+                       std::size_t batch, bool train);
+
+    /// Back-propagate dL/dpred; accumulates parameter gradients.
+    void backward(const nn::Matrix& dpred);
+
+    void zero_grad();
+    std::vector<nn::ParamRef> params();
+    std::size_t num_parameters();
+
+    /// Per-column input statistics used when cfg.standardize_inputs is on
+    /// (persisted by save()/load()).
+    void set_input_stats(std::vector<float> mean, std::vector<float> stddev);
+    const std::vector<float>& input_mean() const { return in_mean_; }
+    const std::vector<float>& input_std() const { return in_std_; }
+
+    /// Convenience inference: predictions for selected dataset samples.
+    std::vector<double> predict(const Dataset& ds,
+                                std::span<const std::size_t> indices,
+                                std::size_t batch_size = 64);
+    std::vector<double> predict_features(
+        const nn::Csr& csr, std::size_t num_nodes,
+        std::span<const std::vector<float>> feature_rows,
+        std::size_t batch_size = 64);
+
+    /// Binary weight persistence (architecture must match on load).
+    void save(const std::filesystem::path& path);
+    void load(const std::filesystem::path& path);
+
+private:
+    nn::Matrix standardized(const nn::Matrix& x) const;
+
+    ModelConfig cfg_;
+    bg::Rng rng_;  ///< drives dropout masks
+    std::vector<float> in_mean_;
+    std::vector<float> in_std_;
+    std::vector<nn::SageConv> convs_;
+    std::vector<nn::ReLU6> conv_act_;
+    std::vector<nn::Dropout> conv_drop_;
+    std::vector<nn::Linear> linears_;
+    nn::ReLU6 mlp_act0_;
+    nn::BatchNorm1d bn0_;
+    nn::BatchNorm1d bn1_;
+    nn::Sigmoid out_act_;
+    // Forward caches for backward.
+    std::size_t cache_num_nodes_ = 0;
+};
+
+}  // namespace bg::core

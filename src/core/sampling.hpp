@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file sampling.hpp
+/// Decision-vector sampling (§III-B / §III-C.1 "Data Normalization"):
+///
+///  * purely random sampling — D[v] uniform over {rw, rs, rf};
+///  * priority-guided sampling — a base assignment gives every node the
+///    highest-priority *applicable* operation (priority rw > rs > rf, to
+///    minimize structural change, following FlowTune), then additional
+///    samples mutate a random 10%..90% of the nodes;
+///  * evaluation — run Algorithm 1 on a copy and record the reduction and
+///    the applied-op trace (the dynamic-feature source).
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/features.hpp"
+#include "opt/orchestrate.hpp"
+#include "util/rng.hpp"
+
+namespace bg::core {
+
+/// One evaluated Boolean-manipulation sample.
+struct SampleRecord {
+    opt::DecisionVector decisions;       ///< input assignment D
+    std::vector<opt::OpKind> applied;    ///< ops actually applied per var
+    int reduction = 0;                   ///< AND nodes removed
+    std::size_t final_size = 0;
+};
+
+/// Uniformly random decisions on the AND nodes (None elsewhere).
+opt::DecisionVector random_decisions(const aig::Aig& g, bg::Rng& rng);
+
+/// Priority-guided base assignment derived from the static features:
+/// highest-priority applicable op, random op where nothing applies.
+opt::DecisionVector priority_decisions(const aig::Aig& g,
+                                       const StaticFeatures& st,
+                                       bg::Rng& rng);
+
+/// Re-assign a random `fraction` (0..1) of the AND positions.
+opt::DecisionVector mutate_decisions(const aig::Aig& g,
+                                     const opt::DecisionVector& base,
+                                     double fraction, bg::Rng& rng);
+
+/// Run Algorithm 1 on a copy of `design` and record the outcome.
+SampleRecord evaluate_decisions(const aig::Aig& design,
+                                opt::DecisionVector decisions,
+                                const opt::OptParams& params = {});
+
+/// N purely random samples (Fig 2 "Random").
+std::vector<SampleRecord> generate_random_samples(
+    const aig::Aig& design, std::size_t n, std::uint64_t seed,
+    const opt::OptParams& params = {});
+
+/// N priority-guided samples (Fig 2 "Guided"): the base assignment plus
+/// partial random mutations with fractions cycling through 10%..90%.
+std::vector<SampleRecord> generate_guided_samples(
+    const aig::Aig& design, std::size_t n, std::uint64_t seed,
+    const opt::OptParams& params = {},
+    const StaticFeatures* precomputed_static = nullptr);
+
+}  // namespace bg::core

@@ -1,0 +1,262 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace bg::core {
+
+using nn::Matrix;
+
+namespace {
+
+/// Stack selected samples into a (B*N, F) input and a label vector.
+void make_batch(const Dataset& ds, std::span<const std::size_t> idx,
+                int in_dim, Matrix& x, std::vector<float>& labels) {
+    const std::size_t n = ds.num_nodes();
+    x = Matrix(idx.size() * n, static_cast<std::size_t>(in_dim));
+    labels.resize(idx.size());
+    for (std::size_t s = 0; s < idx.size(); ++s) {
+        const auto& sample = ds.samples()[idx[s]];
+        std::copy(sample.features.begin(), sample.features.end(),
+                  x.row(s * n));
+        labels[s] = sample.label;
+    }
+}
+
+}  // namespace
+
+double evaluate_loss(BoolGebraModel& model, const Dataset& ds,
+                     std::span<const std::size_t> indices,
+                     std::size_t batch_size) {
+    if (indices.empty()) {
+        return 0.0;
+    }
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+        const std::size_t b = std::min(batch_size, indices.size() - start);
+        Matrix x;
+        std::vector<float> labels;
+        make_batch(ds, indices.subspan(start, b), model.config().in_dim, x,
+                   labels);
+        const Matrix pred = model.forward(x, ds.csr(), b, /*train=*/false);
+        total += nn::mse_value(pred, labels) * static_cast<double>(b);
+        count += b;
+    }
+    return total / static_cast<double>(count);
+}
+
+TrainResult train_model(BoolGebraModel& model, const Dataset& ds,
+                        const TrainConfig& cfg) {
+    BG_EXPECTS(ds.size() >= 2, "training needs at least two samples");
+    TrainResult result;
+    result.split = ds.split(cfg.train_fraction, cfg.seed);
+    auto& train_idx = result.split.train;
+    const auto& test_idx = result.split.test;
+    BG_EXPECTS(!train_idx.empty(), "empty training split");
+
+    // Fit the input standardization on the training split.
+    if (model.config().standardize_inputs) {
+        const auto f = static_cast<std::size_t>(model.config().in_dim);
+        std::vector<double> mean(f, 0.0);
+        std::vector<double> var(f, 0.0);
+        std::size_t rows = 0;
+        for (const auto idx : train_idx) {
+            const auto& feats = ds.samples()[idx].features;
+            for (std::size_t i = 0; i < feats.size(); ++i) {
+                mean[i % f] += feats[i];
+            }
+            rows += feats.size() / f;
+        }
+        for (auto& m : mean) {
+            m /= static_cast<double>(rows);
+        }
+        for (const auto idx : train_idx) {
+            const auto& feats = ds.samples()[idx].features;
+            for (std::size_t i = 0; i < feats.size(); ++i) {
+                const double d = feats[i] - mean[i % f];
+                var[i % f] += d * d;
+            }
+        }
+        std::vector<float> mean_f(f);
+        std::vector<float> std_f(f);
+        for (std::size_t j = 0; j < f; ++j) {
+            mean_f[j] = static_cast<float>(mean[j]);
+            std_f[j] = static_cast<float>(
+                std::sqrt(var[j] / static_cast<double>(rows)));
+        }
+        model.set_input_stats(std::move(mean_f), std::move(std_f));
+    }
+
+    nn::Adam opt(model.params(), cfg.lr);
+    const nn::StepDecay decay{cfg.lr, cfg.decay_factor, cfg.decay_every};
+    bg::Rng shuffle_rng(cfg.seed ^ 0x5EED);
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        opt.set_lr(decay.at_epoch(static_cast<unsigned>(epoch)));
+        shuffle_rng.shuffle(train_idx);
+
+        double train_loss = 0.0;
+        std::size_t seen = 0;
+        for (std::size_t start = 0; start < train_idx.size();
+             start += cfg.batch_size) {
+            const std::size_t b =
+                std::min(cfg.batch_size, train_idx.size() - start);
+            if (b < 2) {
+                break;  // batch-norm needs at least two rows
+            }
+            Matrix x;
+            std::vector<float> labels;
+            make_batch(ds, std::span(train_idx).subspan(start, b),
+                       model.config().in_dim, x, labels);
+            model.zero_grad();
+            const Matrix pred = model.forward(x, ds.csr(), b, /*train=*/true);
+            const auto loss = nn::mse_loss(pred, labels);
+            model.backward(loss.grad);
+            opt.step();
+            train_loss += loss.loss * static_cast<double>(b);
+            seen += b;
+        }
+        train_loss /= static_cast<double>(std::max<std::size_t>(seen, 1));
+
+        if (epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs) {
+            EpochStats st;
+            st.epoch = epoch;
+            st.train_loss = train_loss;
+            st.test_loss = evaluate_loss(model, ds, test_idx);
+            st.lr = opt.lr();
+            result.history.push_back(st);
+        }
+    }
+    if (!result.history.empty()) {
+        result.final_train_loss = result.history.back().train_loss;
+        result.final_test_loss = result.history.back().test_loss;
+    }
+    return result;
+}
+
+MultiTrainResult train_model_multi(BoolGebraModel& model,
+                                   std::span<const Dataset* const> datasets,
+                                   const TrainConfig& cfg) {
+    BG_EXPECTS(!datasets.empty(), "need at least one dataset");
+    MultiTrainResult out;
+
+    // Per-design splits.
+    std::vector<Dataset::Split> splits;
+    splits.reserve(datasets.size());
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+        splits.push_back(
+            datasets[d]->split(cfg.train_fraction, cfg.seed + d));
+        BG_EXPECTS(!splits.back().train.empty(), "empty training split");
+    }
+
+    // Standardization over the union of all training samples.
+    if (model.config().standardize_inputs) {
+        const auto f = static_cast<std::size_t>(model.config().in_dim);
+        std::vector<double> mean(f, 0.0);
+        std::vector<double> var(f, 0.0);
+        std::size_t rows = 0;
+        for (std::size_t d = 0; d < datasets.size(); ++d) {
+            for (const auto idx : splits[d].train) {
+                const auto& feats = datasets[d]->samples()[idx].features;
+                for (std::size_t i = 0; i < feats.size(); ++i) {
+                    mean[i % f] += feats[i];
+                }
+                rows += feats.size() / f;
+            }
+        }
+        for (auto& m : mean) {
+            m /= static_cast<double>(rows);
+        }
+        for (std::size_t d = 0; d < datasets.size(); ++d) {
+            for (const auto idx : splits[d].train) {
+                const auto& feats = datasets[d]->samples()[idx].features;
+                for (std::size_t i = 0; i < feats.size(); ++i) {
+                    const double diff = feats[i] - mean[i % f];
+                    var[i % f] += diff * diff;
+                }
+            }
+        }
+        std::vector<float> mean_f(f);
+        std::vector<float> std_f(f);
+        for (std::size_t j = 0; j < f; ++j) {
+            mean_f[j] = static_cast<float>(mean[j]);
+            std_f[j] = static_cast<float>(
+                std::sqrt(var[j] / static_cast<double>(rows)));
+        }
+        model.set_input_stats(std::move(mean_f), std::move(std_f));
+    }
+
+    nn::Adam opt(model.params(), cfg.lr);
+    const nn::StepDecay decay{cfg.lr, cfg.decay_factor, cfg.decay_every};
+    bg::Rng shuffle_rng(cfg.seed ^ 0x5EED);
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        opt.set_lr(decay.at_epoch(static_cast<unsigned>(epoch)));
+        double train_loss = 0.0;
+        std::size_t seen = 0;
+        // Round-robin over designs, shuffled per epoch.
+        std::vector<std::size_t> order(datasets.size());
+        for (std::size_t d = 0; d < order.size(); ++d) {
+            order[d] = d;
+        }
+        shuffle_rng.shuffle(order);
+        for (const std::size_t d : order) {
+            auto& train_idx = splits[d].train;
+            shuffle_rng.shuffle(train_idx);
+            for (std::size_t start = 0; start < train_idx.size();
+                 start += cfg.batch_size) {
+                const std::size_t b =
+                    std::min(cfg.batch_size, train_idx.size() - start);
+                if (b < 2) {
+                    break;
+                }
+                Matrix x;
+                std::vector<float> labels;
+                make_batch(*datasets[d],
+                           std::span(train_idx).subspan(start, b),
+                           model.config().in_dim, x, labels);
+                model.zero_grad();
+                const Matrix pred = model.forward(x, datasets[d]->csr(), b,
+                                                  /*train=*/true);
+                const auto loss = nn::mse_loss(pred, labels);
+                model.backward(loss.grad);
+                opt.step();
+                train_loss += loss.loss * static_cast<double>(b);
+                seen += b;
+            }
+        }
+        train_loss /= static_cast<double>(std::max<std::size_t>(seen, 1));
+
+        if (epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs) {
+            double test_loss = 0.0;
+            for (std::size_t d = 0; d < datasets.size(); ++d) {
+                test_loss +=
+                    evaluate_loss(model, *datasets[d], splits[d].test);
+            }
+            test_loss /= static_cast<double>(datasets.size());
+            EpochStats st;
+            st.epoch = epoch;
+            st.train_loss = train_loss;
+            st.test_loss = test_loss;
+            st.lr = opt.lr();
+            out.combined.history.push_back(st);
+        }
+    }
+    if (!out.combined.history.empty()) {
+        out.combined.final_train_loss =
+            out.combined.history.back().train_loss;
+        out.combined.final_test_loss = out.combined.history.back().test_loss;
+    }
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+        out.per_design_test.push_back(
+            evaluate_loss(model, *datasets[d], splits[d].test));
+    }
+    return out;
+}
+
+}  // namespace bg::core

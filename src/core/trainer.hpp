@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file trainer.hpp
+/// Training loop for the BoolGebra predictor: mini-batch Adam with MSE
+/// loss and the paper's step-decay schedule; records the testing-loss
+/// curve (Fig 4's series) per epoch.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+
+namespace bg::core {
+
+struct TrainConfig {
+    std::size_t epochs = 1500;
+    std::size_t batch_size = 100;
+    double lr = 8e-7;              ///< paper: Adam with lr 8e-7
+    double decay_factor = 0.5;     ///< paper: x0.5 every 100 epochs
+    unsigned decay_every = 100;
+    double train_fraction = 0.8;
+    std::uint64_t seed = 7;
+    /// Record test loss every `eval_every` epochs (1 = every epoch).
+    std::size_t eval_every = 1;
+
+    /// The paper's hyper-parameters (expensive on CPU).
+    static TrainConfig paper() { return {}; }
+    /// CPU-quick settings: fewer epochs, workable learning rate (requires
+    /// ModelConfig::standardize_inputs, the default).
+    static TrainConfig quick() {
+        TrainConfig c;
+        c.epochs = 60;
+        c.batch_size = 16;
+        c.lr = 3e-3;
+        c.decay_every = 25;
+        c.eval_every = 2;
+        return c;
+    }
+};
+
+struct EpochStats {
+    std::size_t epoch = 0;
+    double train_loss = 0.0;
+    double test_loss = 0.0;
+    double lr = 0.0;
+};
+
+struct TrainResult {
+    std::vector<EpochStats> history;
+    double final_train_loss = 0.0;
+    double final_test_loss = 0.0;
+    Dataset::Split split;  ///< indices used for train / test
+};
+
+/// Train `model` on `ds`; deterministic given the seeds in the configs.
+TrainResult train_model(BoolGebraModel& model, const Dataset& ds,
+                        const TrainConfig& cfg = TrainConfig::quick());
+
+/// Multi-design training (an extension beyond the paper's single-design
+/// setup, in the direction its conclusion sketches): every epoch walks all
+/// datasets, drawing same-design mini-batches (one graph per batch is a
+/// GraphSAGE requirement).  The recorded test loss is the average across
+/// the designs' test splits.
+struct MultiTrainResult {
+    TrainResult combined;                ///< averaged history
+    std::vector<double> per_design_test;  ///< final test loss per dataset
+};
+MultiTrainResult train_model_multi(BoolGebraModel& model,
+                                   std::span<const Dataset* const> datasets,
+                                   const TrainConfig& cfg =
+                                       TrainConfig::quick());
+
+/// Evaluate MSE of `model` on the given sample indices.
+double evaluate_loss(BoolGebraModel& model, const Dataset& ds,
+                     std::span<const std::size_t> indices,
+                     std::size_t batch_size = 64);
+
+}  // namespace bg::core

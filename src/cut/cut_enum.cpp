@@ -1,0 +1,183 @@
+#include "cut/cut_enum.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace bg::cut {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Var;
+using tt::TruthTable;
+
+std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
+                                std::size_t max_cuts) {
+    BG_EXPECTS(k >= 2 && k <= 8, "cut size must be in [2, 8]");
+    BG_EXPECTS(g.is_and(root), "cuts are enumerated for AND nodes");
+
+    std::vector<Cut> out;
+    std::set<std::vector<Var>> seen;
+    std::deque<std::vector<Var>> frontier;
+    frontier.push_back({root});
+    seen.insert({root});
+
+    // Bound the total expansion work independently of max_cuts.
+    std::size_t budget = std::max<std::size_t>(max_cuts * 8, 256);
+
+    while (!frontier.empty() && out.size() < max_cuts && budget-- > 0) {
+        const auto cut = frontier.front();
+        frontier.pop_front();
+        // Try expanding each AND leaf.
+        for (std::size_t i = 0; i < cut.size(); ++i) {
+            const Var leaf = cut[i];
+            if (!g.is_and(leaf)) {
+                continue;
+            }
+            std::vector<Var> next;
+            next.reserve(cut.size() + 1);
+            for (std::size_t j = 0; j < cut.size(); ++j) {
+                if (j != i) {
+                    next.push_back(cut[j]);
+                }
+            }
+            for (const Lit f : {g.fanin0(leaf), g.fanin1(leaf)}) {
+                const Var u = aig::lit_var(f);
+                if (u != 0 &&
+                    std::find(next.begin(), next.end(), u) == next.end()) {
+                    next.push_back(u);
+                }
+            }
+            if (next.size() > k) {
+                continue;
+            }
+            std::sort(next.begin(), next.end());
+            if (!seen.insert(next).second) {
+                continue;
+            }
+            frontier.push_back(next);
+            // The trivial cut {root} is skipped; everything else is real.
+            if (!(next.size() == 1 && next[0] == root)) {
+                Cut c;
+                c.leaves = next;
+                c.function = cone_function(g, root, c.leaves);
+                out.push_back(std::move(c));
+                if (out.size() >= max_cuts) {
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Var> reconv_cut(const Aig& g, Var root, unsigned max_leaves) {
+    BG_EXPECTS(max_leaves >= 2, "a cut needs at least two leaves");
+    if (!g.is_and(root)) {
+        return {};
+    }
+    std::vector<Var> leaves{root};
+
+    const auto expansion_cost = [&](Var leaf) {
+        int fresh = 0;
+        for (const Lit f : {g.fanin0(leaf), g.fanin1(leaf)}) {
+            const Var u = aig::lit_var(f);
+            if (u != 0 &&
+                std::find(leaves.begin(), leaves.end(), u) == leaves.end()) {
+                ++fresh;
+            }
+        }
+        return fresh - 1;  // removing the leaf itself
+    };
+
+    while (true) {
+        Var best = aig::null_var;
+        int best_cost = 1000;
+        for (const Var leaf : leaves) {
+            if (!g.is_and(leaf)) {
+                continue;
+            }
+            const int cost = expansion_cost(leaf);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = leaf;
+            }
+        }
+        if (best == aig::null_var) {
+            break;  // all leaves are PIs
+        }
+        if (leaves.size() + static_cast<std::size_t>(
+                                std::max(best_cost, 0)) > max_leaves &&
+            best_cost > 0) {
+            break;
+        }
+        // Expand `best`.
+        leaves.erase(std::find(leaves.begin(), leaves.end(), best));
+        for (const Lit f : {g.fanin0(best), g.fanin1(best)}) {
+            const Var u = aig::lit_var(f);
+            if (u != 0 &&
+                std::find(leaves.begin(), leaves.end(), u) == leaves.end()) {
+                leaves.push_back(u);
+            }
+        }
+        BG_ASSERT(leaves.size() <= max_leaves, "cut expansion overflow");
+    }
+    if (leaves.size() == 1 && leaves[0] == root) {
+        return {};
+    }
+    std::sort(leaves.begin(), leaves.end());
+    return leaves;
+}
+
+std::unordered_map<Var, TruthTable> cone_functions(
+    const Aig& g, Var root, std::span<const Var> leaves) {
+    BG_EXPECTS(leaves.size() <= 16, "cone function capped at 16 leaves");
+    const unsigned nv = static_cast<unsigned>(leaves.size());
+    std::unordered_map<Var, TruthTable> fn;
+    fn.reserve(leaves.size() * 4);
+    for (unsigned i = 0; i < nv; ++i) {
+        fn.emplace(leaves[i], TruthTable::nth_var(nv, i));
+    }
+    // Iterative post-order evaluation from the root.
+    std::vector<Var> stack{root};
+    while (!stack.empty()) {
+        const Var v = stack.back();
+        if (fn.contains(v)) {
+            stack.pop_back();
+            continue;
+        }
+        BG_ASSERT(g.is_and(v),
+                  "cone walk escaped the cut (leaves do not form a cut)");
+        const Var u0 = aig::lit_var(g.fanin0(v));
+        const Var u1 = aig::lit_var(g.fanin1(v));
+        const bool need0 = u0 != 0 && !fn.contains(u0);
+        const bool need1 = u1 != 0 && !fn.contains(u1);
+        if (need0) {
+            stack.push_back(u0);
+        }
+        if (need1) {
+            stack.push_back(u1);
+        }
+        if (need0 || need1) {
+            continue;
+        }
+        stack.pop_back();
+        const auto value_of = [&](Lit l) {
+            const Var u = aig::lit_var(l);
+            TruthTable t =
+                u == 0 ? TruthTable::zeros(nv) : fn.at(u);
+            return aig::lit_is_compl(l) ? ~t : t;
+        };
+        fn.emplace(v, value_of(g.fanin0(v)) & value_of(g.fanin1(v)));
+    }
+    return fn;
+}
+
+TruthTable cone_function(const Aig& g, Var root,
+                         std::span<const Var> leaves) {
+    return cone_functions(g, root, leaves).at(root);
+}
+
+}  // namespace bg::cut

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file cut_enum.hpp
+/// K-feasible cut enumeration and cone-function computation.  Rewriting
+/// consumes 4-feasible cuts; refactoring and resubstitution consume one
+/// reconvergence-driven cut per node (ABC's Abc_NodeFindCut heuristic).
+
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace bg::cut {
+
+/// A cut of some root node: the sorted leaf variables plus the root's
+/// function expressed over those leaves (leaf i = variable i).
+struct Cut {
+    std::vector<aig::Var> leaves;
+    tt::TruthTable function;
+};
+
+/// Enumerate the k-feasible cuts of `root` (excluding the trivial cut
+/// {root}) by leaf-expansion closure.  At most `max_cuts` cuts are
+/// returned, discovered in BFS order (small cuts first).  Functions are
+/// computed for every returned cut.
+std::vector<Cut> enumerate_cuts(const aig::Aig& g, aig::Var root, unsigned k,
+                                std::size_t max_cuts);
+
+/// Grow one reconvergence-driven cut of `root` with at most `max_leaves`
+/// leaves: repeatedly expand the leaf whose expansion adds the fewest new
+/// leaves.  Returns an empty vector when the root cannot be expanded at
+/// all (e.g. root is a PI).
+std::vector<aig::Var> reconv_cut(const aig::Aig& g, aig::Var root,
+                                 unsigned max_leaves);
+
+/// Truth table of `root` over the given leaves (leaf i maps to variable
+/// i).  Every path from root to a PI must cross a leaf; violations throw.
+tt::TruthTable cone_function(const aig::Aig& g, aig::Var root,
+                             std::span<const aig::Var> leaves);
+
+/// Truth tables of every node in the cone of `root` bounded by `leaves`
+/// (inclusive of leaves and root), over the leaf variables.
+std::unordered_map<aig::Var, tt::TruthTable> cone_functions(
+    const aig::Aig& g, aig::Var root, std::span<const aig::Var> leaves);
+
+}  // namespace bg::cut

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file aiger.hpp
+/// ASCII AIGER ("aag") reader and writer for combinational AIGs.  This is
+/// the interchange format of the AIGER suite and of ABC, so users can run
+/// BoolGebra on the paper's real ISCAS85 / ITC-ISCAS99 netlists whenever
+/// they have them on disk.  Latches are not supported (the paper operates
+/// on combinational logic).
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace bg::io {
+
+/// Parse an ASCII AIGER document.  Throws std::runtime_error with a
+/// line-oriented message on malformed input.
+aig::Aig read_aiger(std::istream& in);
+aig::Aig read_aiger_string(const std::string& text);
+aig::Aig read_aiger_file(const std::filesystem::path& path);
+
+/// Serialize to ASCII AIGER.  The AIG is compacted first so variable
+/// indices are dense and topologically ordered as the format requires.
+void write_aiger(const aig::Aig& g, std::ostream& out);
+std::string write_aiger_string(const aig::Aig& g);
+void write_aiger_file(const aig::Aig& g, const std::filesystem::path& path);
+
+/// Parse the *binary* AIGER format ("aig" header, delta-coded AND gates) —
+/// the format the published benchmark archives actually ship.
+aig::Aig read_aiger_binary(std::istream& in);
+aig::Aig read_aiger_binary_string(const std::string& bytes);
+aig::Aig read_aiger_binary_file(const std::filesystem::path& path);
+
+/// Serialize to binary AIGER.
+void write_aiger_binary(const aig::Aig& g, std::ostream& out);
+std::string write_aiger_binary_string(const aig::Aig& g);
+void write_aiger_binary_file(const aig::Aig& g,
+                             const std::filesystem::path& path);
+
+/// Load either AIGER flavour by sniffing the header ("aag" vs "aig").
+aig::Aig read_aiger_auto_file(const std::filesystem::path& path);
+
+}  // namespace bg::io

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file bench.hpp
+/// ISCAS BENCH-format reader and writer.  BENCH is the native distribution
+/// format of the ISCAS85 / ITC-ISCAS99 benchmark suites the paper
+/// evaluates on, so this module lets a user feed the real b07…c5315
+/// netlists into BoolGebra.  Gates supported: AND, OR, NAND, NOR, XOR,
+/// XNOR, NOT, BUF/BUFF (arbitrary arity for the symmetric ones); DFFs are
+/// rejected (combinational only).
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace bg::io {
+
+aig::Aig read_bench(std::istream& in);
+aig::Aig read_bench_string(const std::string& text);
+aig::Aig read_bench_file(const std::filesystem::path& path);
+
+/// Serialize as BENCH using AND/NOT gates (every AIG maps onto these).
+void write_bench(const aig::Aig& g, std::ostream& out);
+std::string write_bench_string(const aig::Aig& g);
+void write_bench_file(const aig::Aig& g, const std::filesystem::path& path);
+
+}  // namespace bg::io

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file dot.hpp
+/// Graphviz DOT export of AIGs for papers, debugging and documentation:
+/// PIs as boxes, AND nodes as circles, complemented edges dashed (the
+/// conventional AIG rendering).
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace bg::io {
+
+void write_dot(const aig::Aig& g, std::ostream& out);
+std::string write_dot_string(const aig::Aig& g);
+void write_dot_file(const aig::Aig& g, const std::filesystem::path& path);
+
+}  // namespace bg::io

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file layers.hpp
+/// The dense layers of the BoolGebra predictor (Fig 3g): Linear, ReLU6,
+/// Sigmoid, Dropout and BatchNorm1d, each with explicit forward/backward.
+/// Layers cache what backward needs; the training loop is single-threaded
+/// by design (one model instance per thread if parallelism is wanted).
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace bg::nn {
+
+/// A view of one trainable tensor for the optimizer.
+struct ParamRef {
+    float* value = nullptr;
+    float* grad = nullptr;
+    std::size_t size = 0;
+};
+
+class Linear {
+public:
+    Linear(std::size_t in, std::size_t out, bg::Rng& rng);
+
+    Matrix forward(const Matrix& x);
+    /// Accumulates parameter gradients, returns dL/dx.
+    Matrix backward(const Matrix& dy);
+
+    void zero_grad();
+    std::vector<ParamRef> params();
+
+    std::size_t in_dim() const { return w_.rows(); }
+    std::size_t out_dim() const { return w_.cols(); }
+    Matrix& weights() { return w_; }
+    std::vector<float>& bias() { return b_; }
+
+private:
+    Matrix w_;  // in x out
+    std::vector<float> b_;
+    Matrix gw_;
+    std::vector<float> gb_;
+    Matrix cache_x_;
+};
+
+/// min(max(x, 0), 6) — the paper's activation.
+class ReLU6 {
+public:
+    Matrix forward(const Matrix& x);
+    Matrix backward(const Matrix& dy);
+
+private:
+    Matrix cache_x_;
+};
+
+class Sigmoid {
+public:
+    Matrix forward(const Matrix& x);
+    Matrix backward(const Matrix& dy);
+
+private:
+    Matrix cache_y_;
+};
+
+/// Inverted dropout: scales by 1/(1-rate) at train time, identity at eval.
+class Dropout {
+public:
+    explicit Dropout(float rate) : rate_(rate) {}
+
+    Matrix forward(const Matrix& x, bool train, bg::Rng& rng);
+    Matrix backward(const Matrix& dy);
+
+    float rate() const { return rate_; }
+
+private:
+    float rate_;
+    std::vector<float> mask_;  // per element, 0 or 1/(1-rate)
+    bool last_train_ = false;
+};
+
+class BatchNorm1d {
+public:
+    explicit BatchNorm1d(std::size_t dim, float momentum = 0.1F,
+                         float eps = 1e-5F);
+
+    Matrix forward(const Matrix& x, bool train);
+    Matrix backward(const Matrix& dy);
+
+    void zero_grad();
+    std::vector<ParamRef> params();
+
+    std::size_t dim() const { return gamma_.size(); }
+
+private:
+    std::vector<float> gamma_;
+    std::vector<float> beta_;
+    std::vector<float> g_gamma_;
+    std::vector<float> g_beta_;
+    std::vector<float> running_mean_;
+    std::vector<float> running_var_;
+    float momentum_;
+    float eps_;
+    // Backward caches (train mode).
+    Matrix cache_xhat_;
+    std::vector<float> cache_inv_std_;
+};
+
+}  // namespace bg::nn

@@ -1,0 +1,33 @@
+#include "nn/loss.hpp"
+
+#include "util/contracts.hpp"
+
+namespace bg::nn {
+
+LossResult mse_loss(const Matrix& pred, std::span<const float> target) {
+    BG_EXPECTS(pred.cols() == 1, "predictions must be a column");
+    BG_EXPECTS(pred.rows() == target.size(), "prediction/target mismatch");
+    LossResult out;
+    out.grad = Matrix(pred.rows(), 1);
+    const auto n = static_cast<double>(pred.rows());
+    for (std::size_t i = 0; i < pred.rows(); ++i) {
+        const double d = pred.at(i, 0) - target[i];
+        out.loss += d * d;
+        out.grad.at(i, 0) = static_cast<float>(2.0 * d / n);
+    }
+    out.loss /= n;
+    return out;
+}
+
+double mse_value(const Matrix& pred, std::span<const float> target) {
+    BG_EXPECTS(pred.cols() == 1, "predictions must be a column");
+    BG_EXPECTS(pred.rows() == target.size(), "prediction/target mismatch");
+    double loss = 0.0;
+    for (std::size_t i = 0; i < pred.rows(); ++i) {
+        const double d = pred.at(i, 0) - target[i];
+        loss += d * d;
+    }
+    return loss / static_cast<double>(pred.rows());
+}
+
+}  // namespace bg::nn

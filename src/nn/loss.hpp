@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file loss.hpp
+/// Mean-squared-error loss (the paper trains the predictor as regression
+/// onto normalized labels in [0, 1]).
+
+#include <span>
+
+#include "nn/matrix.hpp"
+
+namespace bg::nn {
+
+struct LossResult {
+    double loss = 0.0;
+    Matrix grad;  ///< dL/dpred, same shape as pred
+};
+
+/// pred is (B, 1); target holds B labels.
+LossResult mse_loss(const Matrix& pred, std::span<const float> target);
+
+/// Loss only (no gradient); for evaluation passes.
+double mse_value(const Matrix& pred, std::span<const float> target);
+
+}  // namespace bg::nn

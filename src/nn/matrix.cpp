@@ -1,0 +1,103 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace bg::nn {
+
+Matrix Matrix::xavier(std::size_t fan_in, std::size_t fan_out, bg::Rng& rng) {
+    Matrix m(fan_in, fan_out);
+    const float bound = std::sqrt(
+        6.0F / static_cast<float>(fan_in + fan_out));
+    for (auto& v : m.data_) {
+        v = (2.0F * rng.next_float() - 1.0F) * bound;
+    }
+    return m;
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
+    BG_EXPECTS(a.cols() == b.rows(), "matmul shape mismatch");
+    c = Matrix(a.rows(), b.cols());
+    const std::size_t n = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t m = b.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+        float* ci = c.row(i);
+        const float* ai = a.row(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = ai[p];
+            if (av == 0.0F) {
+                continue;
+            }
+            const float* bp = b.row(p);
+            for (std::size_t j = 0; j < m; ++j) {
+                ci[j] += av * bp[j];
+            }
+        }
+    }
+}
+
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& c) {
+    BG_EXPECTS(a.rows() == b.rows(), "matmul_tn shape mismatch");
+    c = Matrix(a.cols(), b.cols());
+    const std::size_t n = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t m = b.cols();
+    for (std::size_t r = 0; r < n; ++r) {
+        const float* ar = a.row(r);
+        const float* br = b.row(r);
+        for (std::size_t i = 0; i < k; ++i) {
+            const float av = ar[i];
+            if (av == 0.0F) {
+                continue;
+            }
+            float* ci = c.row(i);
+            for (std::size_t j = 0; j < m; ++j) {
+                ci[j] += av * br[j];
+            }
+        }
+    }
+}
+
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+    BG_EXPECTS(a.cols() == b.cols(), "matmul_nt shape mismatch");
+    c = Matrix(a.rows(), b.rows());
+    const std::size_t n = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t m = b.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* ai = a.row(i);
+        float* ci = c.row(i);
+        for (std::size_t j = 0; j < m; ++j) {
+            const float* bj = b.row(j);
+            float acc = 0.0F;
+            for (std::size_t p = 0; p < k; ++p) {
+                acc += ai[p] * bj[p];
+            }
+            ci[j] = acc;
+        }
+    }
+}
+
+void add_row_bias(Matrix& y, std::span<const float> bias) {
+    BG_EXPECTS(bias.size() == y.cols(), "bias width mismatch");
+    for (std::size_t i = 0; i < y.rows(); ++i) {
+        float* yi = y.row(i);
+        for (std::size_t j = 0; j < y.cols(); ++j) {
+            yi[j] += bias[j];
+        }
+    }
+}
+
+void accumulate_bias_grad(const Matrix& dy, std::span<float> bias_grad) {
+    BG_EXPECTS(bias_grad.size() == dy.cols(), "bias grad width mismatch");
+    for (std::size_t i = 0; i < dy.rows(); ++i) {
+        const float* row = dy.row(i);
+        for (std::size_t j = 0; j < dy.cols(); ++j) {
+            bias_grad[j] += row[j];
+        }
+    }
+}
+
+}  // namespace bg::nn

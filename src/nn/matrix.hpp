@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Minimal dense float32 matrix with the three GEMM variants the training
+/// loop needs.  Row-major, cache-friendly ikj loops; no BLAS dependency.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bg::nn {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0F) {}
+
+    static Matrix zeros(std::size_t rows, std::size_t cols) {
+        return Matrix(rows, cols);
+    }
+    /// Xavier/Glorot uniform initialization for a (fan_in x fan_out) weight.
+    static Matrix xavier(std::size_t fan_in, std::size_t fan_out,
+                         bg::Rng& rng);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float at(std::size_t r, std::size_t c) const {
+        return data_[r * cols_ + c];
+    }
+    float* row(std::size_t r) { return data_.data() + r * cols_; }
+    const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+    std::span<float> data() { return data_; }
+    std::span<const float> data() const { return data_; }
+
+    void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/// C = A * B.
+void matmul(const Matrix& a, const Matrix& b, Matrix& c);
+/// C = A^T * B (gradients w.r.t. weights).
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& c);
+/// C = A * B^T (gradients w.r.t. inputs).
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Y += bias broadcast over rows.
+void add_row_bias(Matrix& y, std::span<const float> bias);
+/// bias_grad += column sums of dY.
+void accumulate_bias_grad(const Matrix& dy, std::span<float> bias_grad);
+
+}  // namespace bg::nn

@@ -1,0 +1,50 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace bg::nn {
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1,
+           double beta2, double eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto& p : params_) {
+        BG_EXPECTS(p.value != nullptr && p.grad != nullptr,
+                   "optimizer parameter must be bound");
+        m_.emplace_back(p.size, 0.0F);
+        v_.emplace_back(p.size, 0.0F);
+    }
+}
+
+void Adam::step() {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+        auto& param = params_[p];
+        auto& m = m_[p];
+        auto& v = v_[p];
+        for (std::size_t i = 0; i < param.size; ++i) {
+            const double g = param.grad[i];
+            m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+            v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+            const double mhat = m[i] / bc1;
+            const double vhat = v[i] / bc2;
+            param.value[i] -= static_cast<float>(
+                lr_ * mhat / (std::sqrt(vhat) + eps_));
+        }
+    }
+}
+
+double StepDecay::at_epoch(unsigned epoch) const {
+    return base_lr * std::pow(factor, static_cast<double>(epoch / every));
+}
+
+}  // namespace bg::nn

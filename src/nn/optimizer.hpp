@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// Adam (Kingma & Ba, 2014) with the paper's step-decay schedule
+/// (learning rate halves every 100 epochs from a base of 8e-7).
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace bg::nn {
+
+class Adam {
+public:
+    explicit Adam(std::vector<ParamRef> params, double lr = 1e-3,
+                  double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8);
+
+    void step();
+    void set_lr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+    std::size_t steps_taken() const { return t_; }
+
+private:
+    std::vector<ParamRef> params_;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    std::size_t t_ = 0;
+};
+
+/// lr(epoch) = base * factor^(epoch / every)  — the paper: 0.5 every 100.
+struct StepDecay {
+    double base_lr = 8e-7;
+    double factor = 0.5;
+    unsigned every = 100;
+
+    double at_epoch(unsigned epoch) const;
+};
+
+}  // namespace bg::nn

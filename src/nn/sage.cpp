@@ -1,0 +1,166 @@
+#include "nn/sage.hpp"
+
+#include "util/contracts.hpp"
+
+namespace bg::nn {
+
+void mean_aggregate(const Matrix& x, const Csr& csr, std::size_t batch,
+                    Matrix& h) {
+    const std::size_t n = csr.num_nodes();
+    BG_EXPECTS(x.rows() == batch * n, "feature rows must be batch * nodes");
+    const std::size_t f = x.cols();
+    h = Matrix(x.rows(), f);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t base = b * n;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto deg = csr.degree(i);
+            if (deg == 0) {
+                continue;
+            }
+            float* hi = h.row(base + i);
+            for (auto e = csr.offsets[i]; e < csr.offsets[i + 1]; ++e) {
+                const float* xj =
+                    x.row(base + static_cast<std::size_t>(csr.neighbors[
+                                     static_cast<std::size_t>(e)]));
+                for (std::size_t c = 0; c < f; ++c) {
+                    hi[c] += xj[c];
+                }
+            }
+            const float inv = 1.0F / static_cast<float>(deg);
+            for (std::size_t c = 0; c < f; ++c) {
+                hi[c] *= inv;
+            }
+        }
+    }
+}
+
+void mean_aggregate_transpose(const Matrix& dh, const Csr& csr,
+                              std::size_t batch, Matrix& dx) {
+    const std::size_t n = csr.num_nodes();
+    BG_EXPECTS(dh.rows() == batch * n, "gradient rows must be batch * nodes");
+    const std::size_t f = dh.cols();
+    dx = Matrix(dh.rows(), f);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t base = b * n;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto deg = csr.degree(i);
+            if (deg == 0) {
+                continue;
+            }
+            const float inv = 1.0F / static_cast<float>(deg);
+            const float* dhi = dh.row(base + i);
+            for (auto e = csr.offsets[i]; e < csr.offsets[i + 1]; ++e) {
+                float* dxj =
+                    dx.row(base + static_cast<std::size_t>(csr.neighbors[
+                                      static_cast<std::size_t>(e)]));
+                for (std::size_t c = 0; c < f; ++c) {
+                    dxj[c] += dhi[c] * inv;
+                }
+            }
+        }
+    }
+}
+
+void mean_pool(const Matrix& x, std::size_t batch, Matrix& pooled) {
+    BG_EXPECTS(batch > 0 && x.rows() % batch == 0,
+               "rows must divide evenly into batch blocks");
+    const std::size_t n = x.rows() / batch;
+    const std::size_t f = x.cols();
+    pooled = Matrix(batch, f);
+    const float inv = 1.0F / static_cast<float>(n);
+    for (std::size_t b = 0; b < batch; ++b) {
+        float* p = pooled.row(b);
+        for (std::size_t i = 0; i < n; ++i) {
+            const float* xi = x.row(b * n + i);
+            for (std::size_t c = 0; c < f; ++c) {
+                p[c] += xi[c];
+            }
+        }
+        for (std::size_t c = 0; c < f; ++c) {
+            p[c] *= inv;
+        }
+    }
+}
+
+void mean_pool_backward(const Matrix& dpooled, std::size_t num_nodes,
+                        Matrix& dx) {
+    const std::size_t batch = dpooled.rows();
+    const std::size_t f = dpooled.cols();
+    dx = Matrix(batch * num_nodes, f);
+    const float inv = 1.0F / static_cast<float>(num_nodes);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float* dp = dpooled.row(b);
+        for (std::size_t i = 0; i < num_nodes; ++i) {
+            float* d = dx.row(b * num_nodes + i);
+            for (std::size_t c = 0; c < f; ++c) {
+                d[c] = dp[c] * inv;
+            }
+        }
+    }
+}
+
+SageConv::SageConv(std::size_t in, std::size_t out, bg::Rng& rng)
+    : w_self_(Matrix::xavier(in, out, rng)),
+      w_neigh_(Matrix::xavier(in, out, rng)),
+      b_(out, 0.0F),
+      gw_self_(in, out),
+      gw_neigh_(in, out),
+      gb_(out, 0.0F) {}
+
+Matrix SageConv::forward(const Matrix& x, const Csr& csr, std::size_t batch) {
+    BG_EXPECTS(x.cols() == w_self_.rows(), "sage input width mismatch");
+    cache_x_ = x;
+    csr_ = &csr;
+    batch_ = batch;
+    mean_aggregate(x, csr, batch, cache_h_);
+    Matrix y;
+    matmul(x, w_self_, y);
+    Matrix yn;
+    matmul(cache_h_, w_neigh_, yn);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        y.data()[i] += yn.data()[i];
+    }
+    add_row_bias(y, b_);
+    return y;
+}
+
+Matrix SageConv::backward(const Matrix& dy) {
+    BG_EXPECTS(csr_ != nullptr, "backward without forward");
+    Matrix g;
+    matmul_tn(cache_x_, dy, g);
+    for (std::size_t i = 0; i < gw_self_.size(); ++i) {
+        gw_self_.data()[i] += g.data()[i];
+    }
+    matmul_tn(cache_h_, dy, g);
+    for (std::size_t i = 0; i < gw_neigh_.size(); ++i) {
+        gw_neigh_.data()[i] += g.data()[i];
+    }
+    accumulate_bias_grad(dy, gb_);
+
+    Matrix dx;
+    matmul_nt(dy, w_self_, dx);
+    Matrix dh;
+    matmul_nt(dy, w_neigh_, dh);
+    Matrix dx_agg;
+    mean_aggregate_transpose(dh, *csr_, batch_, dx_agg);
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        dx.data()[i] += dx_agg.data()[i];
+    }
+    return dx;
+}
+
+void SageConv::zero_grad() {
+    gw_self_.fill(0.0F);
+    gw_neigh_.fill(0.0F);
+    std::fill(gb_.begin(), gb_.end(), 0.0F);
+}
+
+std::vector<ParamRef> SageConv::params() {
+    return {
+        {w_self_.data().data(), gw_self_.data().data(), w_self_.size()},
+        {w_neigh_.data().data(), gw_neigh_.data().data(), w_neigh_.size()},
+        {b_.data(), gb_.data(), b_.size()},
+    };
+}
+
+}  // namespace bg::nn

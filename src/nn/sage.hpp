@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file sage.hpp
+/// GraphSAGE convolution with mean aggregation (Hamilton et al., NeurIPS
+/// 2017) — the paper's graph encoder.  One design means one fixed graph,
+/// so a batch of B samples shares a single CSR adjacency and stacks node
+/// features as B consecutive blocks of N rows.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/matrix.hpp"
+
+namespace bg::nn {
+
+/// Compressed sparse row adjacency (undirected; built by core::build_csr).
+struct Csr {
+    std::vector<std::int32_t> offsets;    ///< size num_nodes + 1
+    std::vector<std::int32_t> neighbors;  ///< size 2 * |edges|
+
+    std::size_t num_nodes() const { return offsets.size() - 1; }
+    std::size_t degree(std::size_t v) const {
+        return static_cast<std::size_t>(offsets[v + 1] - offsets[v]);
+    }
+};
+
+/// y_i = x_i W_self + mean_{j in N(i)} x_j W_neigh + b
+class SageConv {
+public:
+    SageConv(std::size_t in, std::size_t out, bg::Rng& rng);
+
+    /// `x` is (B*N, in); the same CSR applies to each of the B blocks.
+    Matrix forward(const Matrix& x, const Csr& csr, std::size_t batch);
+    Matrix backward(const Matrix& dy);
+
+    void zero_grad();
+    std::vector<ParamRef> params();
+
+    std::size_t in_dim() const { return w_self_.rows(); }
+    std::size_t out_dim() const { return w_self_.cols(); }
+
+private:
+    Matrix w_self_;
+    Matrix w_neigh_;
+    std::vector<float> b_;
+    Matrix gw_self_;
+    Matrix gw_neigh_;
+    std::vector<float> gb_;
+    // Caches.
+    Matrix cache_x_;
+    Matrix cache_h_;  // aggregated neighbors
+    const Csr* csr_ = nullptr;
+    std::size_t batch_ = 0;
+};
+
+/// H[i] = mean of X over i's neighbors, per batch block.
+void mean_aggregate(const Matrix& x, const Csr& csr, std::size_t batch,
+                    Matrix& h);
+/// Transposed aggregation: DX[j] += DH[i]/deg(i) for each edge (i, j).
+void mean_aggregate_transpose(const Matrix& dh, const Csr& csr,
+                              std::size_t batch, Matrix& dx);
+
+/// Mean pooling over each block of N node rows -> (B, F), and its adjoint.
+void mean_pool(const Matrix& x, std::size_t batch, Matrix& pooled);
+void mean_pool_backward(const Matrix& dpooled, std::size_t num_nodes,
+                        Matrix& dx);
+
+}  // namespace bg::nn

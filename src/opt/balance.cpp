@@ -1,0 +1,107 @@
+#include "opt/balance.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace bg::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Var;
+
+namespace {
+
+struct Balancer {
+    const Aig& old;
+    Aig out;
+    std::vector<Lit> memo;         ///< old var -> new literal (regular)
+    std::vector<std::uint32_t> level;  ///< new-graph levels, by new var
+
+    explicit Balancer(const Aig& g)
+        : old(g), memo(g.num_slots(), aig::null_lit) {
+        memo[0] = aig::lit_false;
+        level.assign(1, 0);
+    }
+
+    std::uint32_t level_of(Lit l) const { return level[aig::lit_var(l)]; }
+
+    Lit new_and(Lit a, Lit b) {
+        const auto slots_before = out.num_slots();
+        const Lit r = out.and_(a, b);
+        if (out.num_slots() > slots_before) {
+            level.push_back(1 + std::max(level_of(a), level_of(b)));
+        }
+        return r;
+    }
+
+    /// Collect the maximal AND-tree rooted at old var `v`: expand fanins
+    /// that are non-complemented single-fanout AND nodes; everything else
+    /// becomes a leaf literal (in old-graph space).
+    void collect_leaves(Var v, std::vector<Lit>& leaves) const {
+        for (const Lit f : {old.fanin0(v), old.fanin1(v)}) {
+            const Var u = aig::lit_var(f);
+            if (!aig::lit_is_compl(f) && old.is_and(u) &&
+                old.ref_count(u) == 1) {
+                collect_leaves(u, leaves);
+            } else {
+                leaves.push_back(f);
+            }
+        }
+    }
+
+    /// Translate old literal to the new graph, balancing on the way.
+    Lit build(Lit old_lit) {
+        const Var v = aig::lit_var(old_lit);
+        if (memo[v] == aig::null_lit) {
+            BG_ASSERT(old.is_and(v), "PIs must be pre-seeded");
+            std::vector<Lit> leaves;
+            collect_leaves(v, leaves);
+            // Translate leaves first.
+            std::vector<Lit> ops;
+            ops.reserve(leaves.size());
+            for (const Lit l : leaves) {
+                ops.push_back(build(l));
+            }
+            // Greedy balanced re-association: repeatedly AND the two
+            // shallowest operands (Huffman-style on levels).
+            while (ops.size() > 1) {
+                std::sort(ops.begin(), ops.end(), [&](Lit a, Lit b) {
+                    return level_of(a) > level_of(b);
+                });
+                const Lit b = ops.back();
+                ops.pop_back();
+                const Lit a = ops.back();
+                ops.pop_back();
+                ops.push_back(new_and(a, b));
+            }
+            memo[v] = ops.empty() ? aig::lit_true : ops[0];
+        }
+        return aig::lit_not_cond(memo[v], aig::lit_is_compl(old_lit));
+    }
+};
+
+}  // namespace
+
+Aig balance(const Aig& g) {
+    Balancer b(g);
+    for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        const Lit pi = b.out.add_pi();
+        b.memo[g.pi(i)] = pi;
+        b.level.push_back(0);
+    }
+    for (const Lit po : g.pos()) {
+        b.out.add_po(b.build(po));
+    }
+    return b.out;
+}
+
+int balance_in_place(Aig& g) {
+    const auto before = static_cast<int>(g.depth());
+    Aig balanced = balance(g);
+    const auto after = static_cast<int>(balanced.depth());
+    g = std::move(balanced);
+    return before - after;
+}
+
+}  // namespace bg::opt

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file balance.hpp
+/// AND-tree balancing (ABC's `balance`): rebuild the network bottom-up,
+/// collecting each maximal single-fanout AND tree into a flat conjunction
+/// and re-associating it as a level-balanced tree.  Size never increases
+/// (structural hashing still applies); depth — the paper's second AIG
+/// metric — typically drops substantially on chain-heavy logic.
+
+#include "aig/aig.hpp"
+
+namespace bg::opt {
+
+/// Balanced copy of `g` (same PIs/POs, equivalent function).
+aig::Aig balance(const aig::Aig& g);
+
+/// Convenience: balance in place, returning the depth change
+/// (positive = shallower).
+int balance_in_place(aig::Aig& g);
+
+}  // namespace bg::opt

@@ -1,0 +1,173 @@
+#include "opt/lut_map.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cut/cut_enum.hpp"
+#include "util/contracts.hpp"
+
+namespace bg::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Var;
+
+namespace {
+
+struct NodeCuts {
+    /// Leaf sets of the priority cuts (sorted vars); index 0 is the best.
+    std::vector<std::vector<Var>> cuts;
+    std::uint32_t arrival = 0;  ///< LUT depth of the best cut
+};
+
+/// Merge two leaf sets; returns false when the union exceeds k.
+bool merge_leaves(const std::vector<Var>& a, const std::vector<Var>& b,
+                  unsigned k, std::vector<Var>& out) {
+    out.clear();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() || j < b.size()) {
+        Var next = 0;
+        if (i < a.size() && (j >= b.size() || a[i] <= b[j])) {
+            next = a[i];
+            if (j < b.size() && b[j] == next) {
+                ++j;
+            }
+            ++i;
+        } else {
+            next = b[j];
+            ++j;
+        }
+        out.push_back(next);
+        if (out.size() > k) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+LutMapping map_to_luts(const Aig& g, const LutMapParams& params) {
+    BG_EXPECTS(params.k >= 2 && params.k <= 8, "LUT size must be in [2, 8]");
+    BG_EXPECTS(params.max_cuts >= 1, "need at least one cut per node");
+
+    // ---- bottom-up priority-cut enumeration ----------------------------
+    std::vector<NodeCuts> node_cuts(g.num_slots());
+    node_cuts[0].cuts = {{}};  // constant: empty cut
+    for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        node_cuts[g.pi(i)].cuts = {{g.pi(i)}};
+        node_cuts[g.pi(i)].arrival = 0;
+    }
+
+    const auto order = g.topo_ands();
+    for (const Var v : order) {
+        const Var u0 = aig::lit_var(g.fanin0(v));
+        const Var u1 = aig::lit_var(g.fanin1(v));
+        struct Scored {
+            std::vector<Var> leaves;
+            std::uint32_t arrival;
+        };
+        std::vector<Scored> candidates;
+        std::vector<Var> merged;
+        const auto arrival_of = [&](const std::vector<Var>& leaves) {
+            std::uint32_t a = 0;
+            for (const Var leaf : leaves) {
+                if (g.is_and(leaf)) {
+                    a = std::max(a, node_cuts[leaf].arrival + 1);
+                } else {
+                    a = std::max(a, 1u);
+                }
+            }
+            return a;
+        };
+        for (const auto& ca : node_cuts[u0].cuts) {
+            for (const auto& cb : node_cuts[u1].cuts) {
+                if (!merge_leaves(ca, cb, params.k, merged)) {
+                    continue;
+                }
+                candidates.push_back(Scored{merged, arrival_of(merged)});
+            }
+        }
+        BG_ASSERT(!candidates.empty(),
+                  "every AND has at least the fanin-pair cut for k >= 2");
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Scored& a, const Scored& b) {
+                      if (a.arrival != b.arrival) {
+                          return a.arrival < b.arrival;
+                      }
+                      return a.leaves.size() < b.leaves.size();
+                  });
+        auto& nc = node_cuts[v];
+        std::unordered_set<std::size_t> seen_hashes;
+        for (const auto& c : candidates) {
+            std::size_t h = 0;
+            for (const Var leaf : c.leaves) {
+                h = h * 1000003 + leaf;
+            }
+            if (!seen_hashes.insert(h).second) {
+                continue;
+            }
+            nc.cuts.push_back(c.leaves);
+            if (nc.cuts.size() >= params.max_cuts) {
+                break;
+            }
+        }
+        // Keep the trivial cut available for covering fallbacks.
+        nc.cuts.push_back({v});
+        nc.arrival = candidates.front().arrival;
+    }
+
+    // ---- covering from the POs ------------------------------------------
+    LutMapping mapping;
+    std::vector<bool> mapped(g.num_slots(), false);
+    std::vector<Var> frontier;
+    for (const Lit po : g.pos()) {
+        const Var v = aig::lit_var(po);
+        if (g.is_and(v) && !mapped[v]) {
+            mapped[v] = true;
+            frontier.push_back(v);
+        }
+    }
+    std::vector<std::uint32_t> lut_level(g.num_slots(), 0);
+    while (!frontier.empty()) {
+        const Var v = frontier.back();
+        frontier.pop_back();
+        const auto& best = node_cuts[v].cuts.front();
+        Lut lut;
+        lut.root = v;
+        lut.leaves = best;
+        lut.function = cut::cone_function(g, v, lut.leaves);
+        mapping.luts.push_back(std::move(lut));
+        for (const Var leaf : best) {
+            if (g.is_and(leaf) && !mapped[leaf]) {
+                mapped[leaf] = true;
+                frontier.push_back(leaf);
+            }
+        }
+    }
+
+    // ---- LUT-level depth over the realized cover ------------------------
+    // Process LUTs in AIG topological order (roots respect it).
+    std::vector<const Lut*> by_root(g.num_slots(), nullptr);
+    for (const auto& lut : mapping.luts) {
+        by_root[lut.root] = &lut;
+    }
+    for (const Var v : order) {
+        const Lut* lut = by_root[v];
+        if (lut == nullptr) {
+            continue;
+        }
+        std::uint32_t lvl = 0;
+        for (const Var leaf : lut->leaves) {
+            lvl = std::max(lvl, lut_level[leaf]);
+        }
+        lut_level[v] = lvl + 1;
+    }
+    for (const Lit po : g.pos()) {
+        mapping.depth = std::max(mapping.depth, lut_level[aig::lit_var(po)]);
+    }
+    return mapping;
+}
+
+}  // namespace bg::opt

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file lut_map.hpp
+/// K-LUT technology mapping — the "technology-dependent stage" the
+/// paper's conclusion names as BoolGebra's next target.  Classic
+/// depth-oriented structural mapping: enumerate priority cuts bottom-up,
+/// pick each node's best (arrival, fanin-count) cut, then cover the
+/// network from the POs.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace bg::opt {
+
+struct LutMapParams {
+    unsigned k = 6;             ///< LUT input count (FPGA-style K)
+    std::size_t max_cuts = 10;  ///< priority cuts kept per node
+};
+
+/// One mapped LUT: a root node, its cut leaves and the implemented
+/// function over those leaves.
+struct Lut {
+    aig::Var root = 0;
+    std::vector<aig::Var> leaves;
+    tt::TruthTable function;
+};
+
+struct LutMapping {
+    std::vector<Lut> luts;
+    std::uint32_t depth = 0;  ///< LUT levels on the critical path
+
+    std::size_t num_luts() const { return luts.size(); }
+};
+
+/// Map `g` onto K-input LUTs.  Every PO is driven by a mapped LUT root,
+/// a PI, or the constant; functions are verified against the AIG cones.
+LutMapping map_to_luts(const aig::Aig& g, const LutMapParams& params = {});
+
+}  // namespace bg::opt

@@ -1,0 +1,53 @@
+#include "opt/mffc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace bg::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Var;
+
+bool MffcResult::contains(Var v) const {
+    return std::find(nodes.begin(), nodes.end(), v) != nodes.end();
+}
+
+namespace {
+
+void deref_rec(const Aig& g, Var v,
+               const std::unordered_set<Var>& leaf_set,
+               std::unordered_map<Var, std::uint32_t>& deficit,
+               std::vector<Var>& out) {
+    out.push_back(v);
+    for (const Lit f : {g.fanin0(v), g.fanin1(v)}) {
+        const Var u = aig::lit_var(f);
+        const std::uint32_t d = ++deficit[u];
+        BG_ASSERT(d <= g.ref_count(u), "MFFC deficit exceeds reference count");
+        if (d == g.ref_count(u) && g.is_and(u) && !leaf_set.contains(u)) {
+            deref_rec(g, u, leaf_set, deficit, out);
+        }
+    }
+}
+
+}  // namespace
+
+MffcResult mffc(const Aig& g, Var root, std::span<const Var> leaves) {
+    BG_EXPECTS(g.is_and(root), "MFFC is defined for AND nodes");
+    BG_EXPECTS(!g.is_dead(root), "MFFC of a dead node");
+    const std::unordered_set<Var> leaf_set(leaves.begin(), leaves.end());
+    BG_EXPECTS(!leaf_set.contains(root), "root cannot be its own leaf");
+    std::unordered_map<Var, std::uint32_t> deficit;
+    MffcResult res;
+    deref_rec(g, root, leaf_set, deficit, res.nodes);
+    return res;
+}
+
+MffcResult mffc(const Aig& g, Var root) {
+    return mffc(g, root, {});
+}
+
+}  // namespace bg::opt

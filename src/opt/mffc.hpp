@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file mffc.hpp
+/// Maximum fanout-free cone computation.  The MFFC of a node w.r.t. a cut
+/// is the set of AND nodes that die when the node is replaced: every node
+/// whose fanouts all lie inside the cone.  All three optimizations compute
+/// their gain as |MFFC| minus the nodes a replacement structure adds.
+/// The computation here is strictly read-only (simulated dereferencing).
+
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace bg::opt {
+
+struct MffcResult {
+    /// Nodes that would die, root first (a superset-free exact set under
+    /// the cut boundary; nodes below the leaves are never included).
+    std::vector<aig::Var> nodes;
+
+    int size() const { return static_cast<int>(nodes.size()); }
+    bool contains(aig::Var v) const;
+};
+
+/// MFFC of `root` bounded below by `leaves` (recursion never crosses a
+/// leaf).  `root` itself is always part of the result.
+MffcResult mffc(const aig::Aig& g, aig::Var root,
+                std::span<const aig::Var> leaves);
+
+/// Unbounded MFFC (recursion stops only at PIs and shared nodes).
+MffcResult mffc(const aig::Aig& g, aig::Var root);
+
+}  // namespace bg::opt

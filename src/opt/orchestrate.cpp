@@ -1,0 +1,77 @@
+#include "opt/orchestrate.hpp"
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace bg::opt {
+
+using aig::Aig;
+using aig::Var;
+
+OrchestrationResult orchestrate(Aig& g, std::span<const OpKind> decisions,
+                                const OptParams& params) {
+    BG_EXPECTS(decisions.size() >= g.num_slots(),
+               "decision vector must cover every var id");
+    OrchestrationResult res;
+    res.original_size = g.num_ands();
+    res.original_depth = g.depth();
+    res.applied.assign(g.num_slots(), OpKind::None);
+
+    // Snapshot the traversal order; nodes created by transformations get
+    // higher ids and are deliberately not revisited in this pass.
+    const auto order = g.topo_ands();
+    for (const Var v : order) {
+        if (g.is_dead(v)) {
+            continue;  // consumed by an earlier transformation
+        }
+        const OpKind op = decisions[v];
+        if (op == OpKind::None) {
+            continue;
+        }
+        ++res.num_checked;
+        const CheckResult check = check_op(g, v, op, params);
+        if (!check.applicable) {
+            continue;
+        }
+        apply_candidate(g, v, check.cand);
+        res.applied[v] = op;
+        ++res.num_applied;
+    }
+    res.final_size = g.num_ands();
+    res.final_depth = g.depth();
+    return res;
+}
+
+DecisionVector uniform_decisions(const Aig& g, OpKind op) {
+    return DecisionVector(g.num_slots(), op);
+}
+
+void save_decisions_csv(const std::filesystem::path& path,
+                        std::span<const OpKind> decisions) {
+    CsvTable t;
+    t.header = {"node", "decision"};
+    for (std::size_t v = 0; v < decisions.size(); ++v) {
+        t.rows.push_back(
+            {std::to_string(v), std::to_string(op_index(decisions[v]))});
+    }
+    save_csv(path, t);
+}
+
+DecisionVector load_decisions_csv(const std::filesystem::path& path) {
+    const auto t = load_csv(path, /*has_header=*/true);
+    DecisionVector out;
+    out.reserve(t.rows.size());
+    for (const auto& row : t.rows) {
+        if (row.size() != 2) {
+            throw std::runtime_error("decision CSV rows need 2 columns");
+        }
+        const std::size_t v = std::stoul(row[0]);
+        if (v != out.size()) {
+            throw std::runtime_error("decision CSV must be densely indexed");
+        }
+        out.push_back(op_from_index(std::stoi(row[1])));
+    }
+    return out;
+}
+
+}  // namespace bg::opt

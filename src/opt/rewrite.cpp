@@ -1,0 +1,76 @@
+#include <algorithm>
+
+#include "cut/cut_enum.hpp"
+#include "opt/rewrite_lib.hpp"
+#include "opt/transform.hpp"
+#include "util/contracts.hpp"
+
+/// \file rewrite.cpp
+/// `rw` — DAG-aware 4-cut rewriting (Mishchenko et al., DAC'06): enumerate
+/// the 4-feasible cuts of a node, look the cut function up in the
+/// pre-optimized structure library, and keep the cut whose replacement
+/// (with structural-hash reuse) frees the most nodes.
+
+namespace bg::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Var;
+
+namespace {
+
+/// Lift a cut function over L <= 4 leaves to a 16-bit 4-variable function.
+/// The replication invariant of TruthTable makes this a truncation.
+std::uint16_t lift_to_u16(const tt::TruthTable& t) {
+    BG_ASSERT(t.num_vars() <= 4, "rewrite cut function too wide");
+    return static_cast<std::uint16_t>(t.words()[0] & 0xFFFFULL);
+}
+
+}  // namespace
+
+CheckResult check_rewrite(const Aig& g, Var v, const OptParams& params) {
+    if (!g.is_and(v) || g.is_dead(v)) {
+        return {};
+    }
+    BG_EXPECTS(params.rewrite_cut_size <= 4,
+               "the rewrite library covers up to 4-input cuts");
+    const auto cuts = cut::enumerate_cuts(g, v, params.rewrite_cut_size,
+                                          params.rewrite_max_cuts);
+    auto& lib = RewriteLibrary::instance();
+
+    CheckResult best;
+    for (const auto& c : cuts) {
+        const std::uint16_t func = lift_to_u16(c.function);
+        const auto& structure = lib.structure_for(func);
+
+        Candidate cand;
+        // Pad operands to the library's four slots; padding slots are
+        // never referenced (the function does not depend on them).
+        cand.operands = c.leaves;
+        while (cand.operands.size() < 4) {
+            cand.operands.push_back(c.leaves.front());
+        }
+        cand.steps = structure.steps;
+        cand.out = structure.out;
+
+        const MffcResult dying = mffc(g, v, c.leaves);
+        const int added = count_added_nodes(g, v, cand, dying);
+        if (added < 0) {
+            continue;  // recipe resolves to the root itself
+        }
+        const int gain = dying.size() - added;
+        if (!best.applicable || gain > best.gain) {
+            best.applicable = true;
+            best.gain = gain;
+            cand.est_gain = gain;
+            best.cand = std::move(cand);
+        }
+    }
+    const int min_gain = params.allow_zero_gain ? 0 : 1;
+    if (!best.applicable || best.gain < min_gain) {
+        return {};
+    }
+    return best;
+}
+
+}  // namespace bg::opt

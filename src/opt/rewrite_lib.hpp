@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file rewrite_lib.hpp
+/// Pre-computed replacement structures for 4-input cut functions, the
+/// ingredient that makes `rw` fast (ABC ships an equivalent table of
+/// optimized subgraphs per NPN class).
+///
+/// Structures are built lazily: a function is NPN-canonized, the canonical
+/// class is synthesized once by a memoized decomposition search (Shannon /
+/// AND / OR / XOR special cases, plus factored-ISOP candidates), and the
+/// result is mapped back through the inverse transform.  Every structure
+/// is verified by evaluation before being cached, so a transform-direction
+/// bug cannot silently corrupt a network.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "opt/transform.hpp"
+
+namespace bg::opt {
+
+class RewriteLibrary {
+public:
+    /// A recipe over exactly four leaf slots (operand indices 0..3).
+    struct Structure {
+        std::vector<Candidate::Step> steps;
+        aig::Lit out = 0;
+
+        std::size_t num_gates() const { return steps.size(); }
+    };
+
+    RewriteLibrary() = default;
+
+    /// Structure computing the 4-variable function `func` over the leaf
+    /// slots.  Cached; subsequent calls are O(1).
+    const Structure& structure_for(std::uint16_t func);
+
+    /// Number of fully cached functions (diagnostics).
+    std::size_t cache_size() const { return cache_.size(); }
+    /// Number of canonical classes synthesized so far (diagnostics).
+    std::size_t classes_built() const { return canon_cache_.size(); }
+
+    /// Process-wide shared instance (single-threaded use).
+    static RewriteLibrary& instance();
+
+    /// Evaluate a structure over the four projection functions; exposed
+    /// for tests.
+    static std::uint16_t evaluate(const Structure& s);
+
+private:
+    Structure decompose(std::uint16_t func);
+
+    std::unordered_map<std::uint16_t, Structure> cache_;
+    std::unordered_map<std::uint16_t, Structure> canon_cache_;
+    std::unordered_map<std::uint16_t, Structure> decomp_cache_;
+};
+
+}  // namespace bg::opt

@@ -1,0 +1,24 @@
+#include "opt/standalone.hpp"
+
+namespace bg::opt {
+
+OrchestrationResult standalone_pass(aig::Aig& g, OpKind op,
+                                    const OptParams& params) {
+    const auto decisions = uniform_decisions(g, op);
+    return orchestrate(g, decisions, params);
+}
+
+int standalone_to_convergence(aig::Aig& g, OpKind op, unsigned max_rounds,
+                              const OptParams& params) {
+    int total = 0;
+    for (unsigned round = 0; round < max_rounds; ++round) {
+        const auto res = standalone_pass(g, op, params);
+        total += res.reduction();
+        if (res.reduction() <= 0) {
+            break;
+        }
+    }
+    return total;
+}
+
+}  // namespace bg::opt

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file standalone.hpp
+/// The SOTA baselines of Table I: stand-alone single-operation passes
+/// (every node is checked against the same operation during one DAG-aware
+/// traversal), exactly what `rewrite` / `resub` / `refactor` do in ABC.
+
+#include "opt/orchestrate.hpp"
+
+namespace bg::opt {
+
+/// One stand-alone pass of `op` over the whole AIG.
+OrchestrationResult standalone_pass(aig::Aig& g, OpKind op,
+                                    const OptParams& params = {});
+
+/// Repeat stand-alone passes until no further reduction (or `max_rounds`).
+/// Returns the cumulative reduction.
+int standalone_to_convergence(aig::Aig& g, OpKind op, unsigned max_rounds = 8,
+                              const OptParams& params = {});
+
+}  // namespace bg::opt

@@ -1,0 +1,35 @@
+#include "sat/cec_sat.hpp"
+
+#include "aig/simulation.hpp"
+#include "util/contracts.hpp"
+
+namespace bg::sat {
+
+aig::CecVerdict check_equivalence_sat(const aig::Aig& a, const aig::Aig& b,
+                                      const SatCecOptions& opts) {
+    const auto miter = prove_equivalence(a, b, opts.conflict_budget);
+    switch (miter.result) {
+        case Result::Unsat:
+            return aig::CecVerdict::Equivalent;
+        case Result::Unknown:
+            return aig::CecVerdict::ProbablyEquivalent;
+        case Result::Sat:
+            break;
+    }
+    // Validate the counterexample by simulating one pattern.
+    aig::SimVectors pats(a.num_pis());
+    for (std::size_t i = 0; i < a.num_pis(); ++i) {
+        pats[i].assign(1, miter.counterexample[i] ? 1ULL : 0ULL);
+    }
+    const auto pa = aig::po_signatures(a, aig::simulate(a, pats));
+    const auto pb = aig::po_signatures(b, aig::simulate(b, pats));
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        if ((pa[i][0] & 1ULL) != (pb[i][0] & 1ULL)) {
+            return aig::CecVerdict::NotEquivalent;
+        }
+    }
+    BG_ASSERT(false, "SAT counterexample failed simulation validation");
+    return aig::CecVerdict::NotEquivalent;
+}
+
+}  // namespace bg::sat

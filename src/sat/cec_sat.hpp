@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file cec_sat.hpp
+/// SAT-backed combinational equivalence checking: a definitive verdict
+/// for designs whose PI count is beyond exhaustive simulation.  A SAT
+/// counterexample is re-validated by simulation before NotEquivalent is
+/// reported, so a solver bug can never produce a false rejection.
+
+#include "aig/cec.hpp"
+#include "sat/cnf.hpp"
+
+namespace bg::sat {
+
+struct SatCecOptions {
+    /// Conflict budget before falling back to ProbablyEquivalent
+    /// (< 0 = unlimited).
+    std::int64_t conflict_budget = 200000;
+};
+
+/// Proven verdicts for equivalence/inequivalence; ProbablyEquivalent only
+/// when the conflict budget runs out.
+aig::CecVerdict check_equivalence_sat(const aig::Aig& a, const aig::Aig& b,
+                                      const SatCecOptions& opts = {});
+
+}  // namespace bg::sat

@@ -1,0 +1,88 @@
+#include "sat/cnf.hpp"
+
+#include "util/contracts.hpp"
+
+namespace bg::sat {
+
+std::vector<Var> encode_aig(Solver& solver, const aig::Aig& g) {
+    std::vector<Var> map(g.num_slots(), -1);
+    // Constant-FALSE node: a variable forced to 0.
+    map[0] = solver.new_var();
+    solver.add_clause({mk_lit(map[0], true)});
+    for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        map[g.pi(i)] = solver.new_var();
+    }
+    for (const aig::Var v : g.topo_ands()) {
+        map[v] = solver.new_var();
+        const Lit x = mk_lit(map[v]);
+        const Lit a = lit_for(map, g.fanin0(v));
+        const Lit b = lit_for(map, g.fanin1(v));
+        solver.add_clause({lit_neg(x), a});
+        solver.add_clause({lit_neg(x), b});
+        solver.add_clause({x, lit_neg(a), lit_neg(b)});
+    }
+    return map;
+}
+
+Lit lit_for(const std::vector<Var>& mapping, aig::Lit l) {
+    const Var v = mapping[aig::lit_var(l)];
+    BG_EXPECTS(v >= 0, "AIG literal was not encoded");
+    return mk_lit(v, aig::lit_is_compl(l));
+}
+
+MiterResult prove_equivalence(const aig::Aig& a, const aig::Aig& b,
+                              std::int64_t conflict_budget) {
+    BG_EXPECTS(a.num_pis() == b.num_pis(),
+               "miter requires matching PI counts");
+    BG_EXPECTS(a.num_pos() == b.num_pos(),
+               "miter requires matching PO counts");
+    Solver solver;
+    const auto map_a = encode_aig(solver, a);
+
+    // Encode b over the SAME input variables.
+    std::vector<Var> map_b(b.num_slots(), -1);
+    map_b[0] = map_a[0];
+    for (std::size_t i = 0; i < b.num_pis(); ++i) {
+        map_b[b.pi(i)] = map_a[a.pi(i)];
+    }
+    for (const aig::Var v : b.topo_ands()) {
+        map_b[v] = solver.new_var();
+        const Lit x = mk_lit(map_b[v]);
+        const Lit fa = lit_for(map_b, b.fanin0(v));
+        const Lit fb = lit_for(map_b, b.fanin1(v));
+        solver.add_clause({lit_neg(x), fa});
+        solver.add_clause({lit_neg(x), fb});
+        solver.add_clause({x, lit_neg(fa), lit_neg(fb)});
+    }
+
+    // XOR miter per PO pair; OR of all xors asserted true.
+    std::vector<Lit> any_diff;
+    for (std::size_t i = 0; i < a.num_pos(); ++i) {
+        const Lit pa = lit_for(map_a, a.po(i));
+        const Lit pb = lit_for(map_b, b.po(i));
+        const Var x = solver.new_var();
+        const Lit xl = mk_lit(x);
+        // x <-> (pa XOR pb)
+        solver.add_clause({lit_neg(xl), pa, pb});
+        solver.add_clause({lit_neg(xl), lit_neg(pa), lit_neg(pb)});
+        solver.add_clause({xl, lit_neg(pa), pb});
+        solver.add_clause({xl, pa, lit_neg(pb)});
+        any_diff.push_back(xl);
+    }
+    if (!solver.add_clause(any_diff)) {
+        // Immediately unsatisfiable (e.g. zero POs): proven equivalent.
+        return MiterResult{Result::Unsat, {}};
+    }
+
+    MiterResult out;
+    out.result = solver.solve({}, conflict_budget);
+    if (out.result == Result::Sat) {
+        out.counterexample.resize(a.num_pis());
+        for (std::size_t i = 0; i < a.num_pis(); ++i) {
+            out.counterexample[i] = solver.model_value(map_a[a.pi(i)]);
+        }
+    }
+    return out;
+}
+
+}  // namespace bg::sat

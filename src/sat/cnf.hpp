@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cnf.hpp
+/// Tseitin encoding of AIGs into CNF and miter construction for SAT-based
+/// combinational equivalence checking (what ABC's `cec` does).
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace bg::sat {
+
+/// Encode all live nodes of `g` into `solver`.  Returns the SAT variable
+/// of each AIG var (index = aig::Var; unused slots hold -1).  PIs become
+/// free variables; every AND gate contributes the three Tseitin clauses
+///   (!x | a) (!x | b) (x | !a | !b).
+std::vector<Var> encode_aig(Solver& solver, const aig::Aig& g);
+
+/// SAT literal for an AIG literal under a mapping from encode_aig.
+Lit lit_for(const std::vector<Var>& mapping, aig::Lit l);
+
+/// Outcome of a miter proof.
+struct MiterResult {
+    Result result = Result::Unknown;
+    /// PI assignment witnessing inequivalence (valid when result == Sat).
+    std::vector<bool> counterexample;
+};
+
+/// Prove or refute PO-wise equivalence of two AIGs with identical
+/// interfaces: builds XOR miters over shared inputs and asks the solver
+/// whether any output pair can differ.  Unsat == proven equivalent.
+MiterResult prove_equivalence(const aig::Aig& a, const aig::Aig& b,
+                              std::int64_t conflict_budget = -1);
+
+}  // namespace bg::sat

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file solver.hpp
+/// A compact CDCL SAT solver (two-watched literals, 1UIP clause learning,
+/// VSIDS-style activities, phase saving, geometric restarts) — the engine
+/// behind SAT-based combinational equivalence checking.  Deliberately
+/// minimal: no clause-database reduction or preprocessing; miters from
+/// this library's circuit sizes are comfortably in range.
+
+#include <cstdint>
+#include <vector>
+
+namespace bg::sat {
+
+using Var = std::int32_t;
+using Lit = std::int32_t;  ///< 2*var + sign (sign 1 = negated)
+
+constexpr Lit mk_lit(Var v, bool negated = false) {
+    return 2 * v + (negated ? 1 : 0);
+}
+constexpr Var lit_var(Lit l) { return l >> 1; }
+constexpr bool lit_sign(Lit l) { return (l & 1) != 0; }
+constexpr Lit lit_neg(Lit l) { return l ^ 1; }
+
+enum class Result {
+    Sat,
+    Unsat,
+    Unknown,  ///< conflict budget exhausted
+};
+
+class Solver {
+public:
+    Solver() = default;
+
+    /// Allocate a fresh variable; returns its index.
+    Var new_var();
+    int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+    /// Add a clause (empty clause makes the instance trivially UNSAT).
+    /// Returns false when the database is already known unsatisfiable.
+    bool add_clause(std::vector<Lit> lits);
+
+    /// Solve under optional assumptions.  `conflict_budget` < 0 means
+    /// unlimited.
+    Result solve(const std::vector<Lit>& assumptions = {},
+                 std::int64_t conflict_budget = -1);
+
+    /// Model access after Result::Sat.
+    bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == 1; }
+
+    std::uint64_t num_conflicts() const { return conflicts_; }
+    std::uint64_t num_decisions() const { return decisions_; }
+    std::uint64_t num_propagations() const { return propagations_; }
+
+private:
+    struct Clause {
+        std::vector<Lit> lits;
+        bool learned = false;
+    };
+    struct Watcher {
+        std::int32_t clause = 0;
+        Lit blocker = 0;
+    };
+
+    // Values: 0 = false, 1 = true, 2 = unassigned (per literal polarity
+    // handled by value()).
+    std::int8_t value(Lit l) const {
+        const std::int8_t a = assigns_[static_cast<std::size_t>(lit_var(l))];
+        return a == 2 ? 2 : static_cast<std::int8_t>(a ^ (lit_sign(l) ? 1 : 0));
+    }
+
+    void enqueue(Lit l, std::int32_t reason);
+    std::int32_t propagate();  ///< returns conflicting clause idx or -1
+    void analyze(std::int32_t conflict, std::vector<Lit>& learned,
+                 int& backtrack_level);
+    void backtrack(int level);
+    Lit pick_branch();
+    void bump(Var v);
+    void decay() { var_inc_ /= 0.95; }
+    int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+    void attach(std::int32_t ci);
+
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+    std::vector<std::int8_t> assigns_;           // per var: 0/1/2
+    std::vector<std::int8_t> phase_;             // saved polarity
+    std::vector<int> level_;
+    std::vector<std::int32_t> reason_;
+    std::vector<Lit> trail_;
+    std::vector<std::size_t> trail_lim_;
+    std::size_t qhead_ = 0;
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    std::vector<std::int8_t> model_;
+    bool unsat_ = false;
+
+    std::uint64_t conflicts_ = 0;
+    std::uint64_t decisions_ = 0;
+    std::uint64_t propagations_ = 0;
+};
+
+}  // namespace bg::sat

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file factor.hpp
+/// Algebraic factoring of cube covers into multi-level factored forms —
+/// the algebra behind `refactor` (the paper's `rf`): the cut function is
+/// collapsed, ISOP'd, factored here, and the factored form is rebuilt as an
+/// AIG.  Uses literal-based weak division (the classic quick-factor family).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tt/sop.hpp"
+#include "tt/truth_table.hpp"
+
+namespace bg::tt {
+
+/// Node in a factored-form expression DAG (stored as a vector tree).
+struct FactorNode {
+    enum class Kind : std::uint8_t { Const0, Const1, Lit, And, Or };
+
+    Kind kind = Kind::Const0;
+    unsigned var = 0;      ///< for Kind::Lit
+    bool negated = false;  ///< for Kind::Lit
+    int left = -1;         ///< child index, for And/Or
+    int right = -1;        ///< child index, for And/Or
+};
+
+/// A factored Boolean expression over `num_vars` input variables.
+class FactorForm {
+public:
+    explicit FactorForm(unsigned num_vars = 0) : num_vars_(num_vars) {}
+
+    unsigned num_vars() const { return num_vars_; }
+    const std::vector<FactorNode>& nodes() const { return nodes_; }
+    int root() const { return root_; }
+    bool is_constant() const;
+
+    int add_const(bool one);
+    int add_lit(unsigned var, bool negated);
+    /// Adds an And/Or node; folds constants and single-child cases.
+    int add_and(int left, int right);
+    int add_or(int left, int right);
+    void set_root(int r) { root_ = r; }
+
+    /// Number of literal leaves in the expression.
+    std::size_t literal_count() const;
+    /// Number of 2-input AND gates an AIG realization needs
+    /// (And => 1, Or => 1 by DeMorgan, literals/constants are free).
+    std::size_t aig_node_count() const;
+    /// Depth in 2-input gates.
+    std::size_t depth() const;
+
+    /// Evaluate over truth tables (for verification).
+    TruthTable to_tt() const;
+
+    /// Algebraic rendering, e.g. "(a + !b)(c + d!e)".
+    std::string to_string() const;
+
+private:
+    unsigned num_vars_;
+    std::vector<FactorNode> nodes_;
+    int root_ = -1;
+};
+
+/// Factor a cube cover into a multi-level form.  The result's truth table
+/// equals sop.to_tt() (asserted internally).  Balanced AND/OR trees are
+/// produced for cube interiors to keep depth low.
+FactorForm factor(const Sop& sop);
+
+}  // namespace bg::tt

@@ -1,0 +1,95 @@
+#include "tt/isop.hpp"
+
+#include "util/contracts.hpp"
+
+namespace bg::tt {
+
+namespace {
+
+/// Recursive Minato–Morreale.  `on` must imply `on_dc`.  Returns the cover
+/// and writes its truth table into `cover_tt` (saves recomputation).
+Sop isop_rec(const TruthTable& on, const TruthTable& on_dc,
+             TruthTable& cover_tt) {
+    const unsigned nv = on.num_vars();
+    if (on.is_const0()) {
+        cover_tt = TruthTable::zeros(nv);
+        return Sop(nv);
+    }
+    if (on_dc.is_const1()) {
+        cover_tt = TruthTable::ones(nv);
+        Sop s(nv);
+        s.add_cube(Cube{});  // constant-1 cube
+        return s;
+    }
+
+    // Split on the highest variable in the support of the bounds.
+    const std::uint32_t sup = on.support_mask() | on_dc.support_mask();
+    BG_ASSERT(sup != 0, "non-constant interval must have support");
+    unsigned var = 31 - static_cast<unsigned>(__builtin_clz(sup));
+
+    const TruthTable on0 = on.cofactor0(var);
+    const TruthTable on1 = on.cofactor1(var);
+    const TruthTable dc0 = on_dc.cofactor0(var);
+    const TruthTable dc1 = on_dc.cofactor1(var);
+
+    // Cubes that must carry the literal !var / var.
+    TruthTable tt0(nv);
+    TruthTable tt1(nv);
+    Sop c0 = isop_rec(on0 & ~dc1, dc0, tt0);
+    Sop c1 = isop_rec(on1 & ~dc0, dc1, tt1);
+
+    // Remaining minterms, coverable without the split variable.
+    const TruthTable on_new = (on0 & ~tt0) | (on1 & ~tt1);
+    TruthTable tt2(nv);
+    Sop c2 = isop_rec(on_new, dc0 & dc1, tt2);
+
+    Sop result(nv);
+    for (auto cube : c0.cubes()) {
+        cube.neg |= 1U << var;
+        result.add_cube(cube);
+    }
+    for (auto cube : c1.cubes()) {
+        cube.pos |= 1U << var;
+        result.add_cube(cube);
+    }
+    for (const auto& cube : c2.cubes()) {
+        result.add_cube(cube);
+    }
+
+    const TruthTable xv = TruthTable::nth_var(nv, var);
+    cover_tt = (~xv & tt0) | (xv & tt1) | tt2;
+    BG_ASSERT(on.implies(cover_tt), "ISOP cover must include the onset");
+    BG_ASSERT(cover_tt.implies(on_dc), "ISOP cover must stay within DC bound");
+    return result;
+}
+
+}  // namespace
+
+Sop isop(const TruthTable& on, const TruthTable& dc) {
+    BG_EXPECTS(on.num_vars() == dc.num_vars(), "width mismatch");
+    BG_EXPECTS(on.num_vars() <= 32, "ISOP limited to 32 variables");
+    BG_EXPECTS((on & dc).is_const0(), "onset and DC-set must be disjoint");
+    TruthTable cover_tt(on.num_vars());
+    return isop_rec(on, on | dc, cover_tt);
+}
+
+Sop isop(const TruthTable& f) {
+    return isop(f, TruthTable::zeros(f.num_vars()));
+}
+
+Sop isop_best_phase(const TruthTable& f, bool& complemented) {
+    Sop pos = isop(f);
+    Sop neg = isop(~f);
+    // Compare by literal count, then cube count.
+    const auto cost = [](const Sop& s) {
+        return std::make_pair(s.num_literals(), s.num_cubes());
+    };
+    if (cost(neg) < cost(pos)) {
+        complemented = true;
+        return neg;
+    }
+    complemented = false;
+    return pos;
+}
+
+}  // namespace bg::tt

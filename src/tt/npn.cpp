@@ -1,0 +1,113 @@
+#include "tt/npn.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bg::tt {
+
+namespace {
+
+constexpr std::array<std::array<std::uint8_t, 4>, 24> all_perms() {
+    std::array<std::array<std::uint8_t, 4>, 24> out{};
+    std::array<std::uint8_t, 4> p{0, 1, 2, 3};
+    for (std::size_t i = 0; i < 24; ++i) {
+        out[i] = p;
+        std::next_permutation(p.begin(), p.end());
+    }
+    return out;
+}
+
+const auto& perms() {
+    static const auto table = all_perms();
+    return table;
+}
+
+}  // namespace
+
+std::uint16_t npn_apply(std::uint16_t f, const NpnTransform& t) {
+    std::uint16_t g = 0;
+    for (unsigned m = 0; m < 16; ++m) {
+        unsigned s = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+            const unsigned bit = ((m >> t.perm[i]) & 1U) ^
+                                 ((t.input_neg >> i) & 1U);
+            s |= bit << i;
+        }
+        unsigned bit = (f >> s) & 1U;
+        bit ^= t.output_neg ? 1U : 0U;
+        g = static_cast<std::uint16_t>(g | (bit << m));
+    }
+    return g;
+}
+
+NpnTransform npn_invert(const NpnTransform& t) {
+    NpnTransform inv;
+    for (unsigned i = 0; i < 4; ++i) {
+        inv.perm[t.perm[i]] = static_cast<std::uint8_t>(i);
+    }
+    // Input i of the forward transform reads x_{perm[i]} ^ neg_i; inverting
+    // moves the phase bit to the permuted position.
+    inv.input_neg = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        if ((t.input_neg >> i) & 1U) {
+            inv.input_neg = static_cast<std::uint8_t>(
+                inv.input_neg | (1U << t.perm[i]));
+        }
+    }
+    inv.output_neg = t.output_neg;
+    return inv;
+}
+
+NpnTransform npn_compose(const NpnTransform& a, const NpnTransform& b) {
+    // npn_apply(f, a) gives g with g[m] = f[s_a(m)] ^ a.oc.
+    // npn_apply(g, b) gives h with h[m] = g[s_b(m)] ^ b.oc
+    //                              = f[s_a(s_b(m))] ^ a.oc ^ b.oc.
+    // s_a(m): bit_i(s) = bit_{a.perm[i]}(m) ^ a.neg_i.
+    // Composition: bit_i(s_a(s_b(m))) = bit_{a.perm[i]}(s_b(m)) ^ a.neg_i
+    //   = bit_{b.perm[a.perm[i]]}(m) ^ b.neg_{a.perm[i]} ^ a.neg_i.
+    NpnTransform c;
+    for (unsigned i = 0; i < 4; ++i) {
+        c.perm[i] = b.perm[a.perm[i]];
+    }
+    c.input_neg = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const unsigned neg = ((a.input_neg >> i) & 1U) ^
+                             ((b.input_neg >> a.perm[i]) & 1U);
+        c.input_neg = static_cast<std::uint8_t>(c.input_neg | (neg << i));
+    }
+    c.output_neg = a.output_neg != b.output_neg;
+    return c;
+}
+
+NpnCanon npn_canonize(std::uint16_t f) {
+    NpnCanon best;
+    best.canon = 0xFFFF;
+    bool first = true;
+    for (const auto& perm : perms()) {
+        for (unsigned neg = 0; neg < 16; ++neg) {
+            for (unsigned oc = 0; oc < 2; ++oc) {
+                NpnTransform t;
+                t.perm = perm;
+                t.input_neg = static_cast<std::uint8_t>(neg);
+                t.output_neg = oc != 0;
+                const std::uint16_t image = npn_apply(f, t);
+                if (first || image < best.canon) {
+                    best.canon = image;
+                    best.to_canon = t;
+                    first = false;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+unsigned npn_num_classes() {
+    std::unordered_set<std::uint16_t> classes;
+    for (unsigned f = 0; f <= 0xFFFF; ++f) {
+        classes.insert(npn_canonize(static_cast<std::uint16_t>(f)).canon);
+    }
+    return static_cast<unsigned>(classes.size());
+}
+
+}  // namespace bg::tt

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file npn.hpp
+/// NPN (Negation-Permutation-Negation) canonization of 4-variable
+/// functions.  The rewrite library stores one optimized structure per NPN
+/// class (there are 222 of them) and instantiates it through the recorded
+/// transform, so canonization must be exactly invertible.
+
+#include <array>
+#include <cstdint>
+
+namespace bg::tt {
+
+/// An NPN transform T.  Applying T to f yields g with
+///   g(x0,x1,x2,x3) = f(y0,y1,y2,y3) ^ output_neg,
+/// where input i of f is driven by y_i = x_{perm[i]} ^ input_neg_i.
+/// In minterm terms: g[m] = f[s] ^ output_neg with
+///   bit_i(s) = bit_{perm[i]}(m) ^ bit_i(input_neg).
+struct NpnTransform {
+    std::array<std::uint8_t, 4> perm{0, 1, 2, 3};
+    std::uint8_t input_neg = 0;  ///< bit i set => input i of f is inverted
+    bool output_neg = false;
+
+    bool operator==(const NpnTransform&) const = default;
+};
+
+/// Result of canonization: canon == npn_apply(f, to_canon).
+struct NpnCanon {
+    std::uint16_t canon = 0;
+    NpnTransform to_canon;
+};
+
+/// Apply a transform to a 4-variable function.
+std::uint16_t npn_apply(std::uint16_t f, const NpnTransform& t);
+
+/// Inverse transform: npn_apply(npn_apply(f, t), npn_invert(t)) == f.
+NpnTransform npn_invert(const NpnTransform& t);
+
+/// Compose transforms: npn_apply(f, npn_compose(a, b)) ==
+/// npn_apply(npn_apply(f, a), b).
+NpnTransform npn_compose(const NpnTransform& a, const NpnTransform& b);
+
+/// Canonize by exhaustive search over all 768 transforms (24 permutations
+/// x 16 input phases x 2 output phases); the canonical representative is
+/// the numerically smallest image.
+NpnCanon npn_canonize(std::uint16_t f);
+
+/// Number of distinct NPN classes among all 4-variable functions (222);
+/// exposed for tests and documentation.
+unsigned npn_num_classes();
+
+}  // namespace bg::tt

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file sop.hpp
+/// Sum-of-products (cube cover) representation used between ISOP extraction
+/// and algebraic factoring.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace bg::tt {
+
+/// One product term over up to 32 variables.  A variable may appear as a
+/// positive literal (bit set in `pos`), a negative literal (bit in `neg`),
+/// or not at all.  A cube with pos == neg == 0 is the constant-1 cube.
+struct Cube {
+    std::uint32_t pos = 0;
+    std::uint32_t neg = 0;
+
+    bool operator==(const Cube&) const = default;
+
+    unsigned num_literals() const;
+    bool has_var(unsigned v) const {
+        return ((pos | neg) >> v) & 1U;
+    }
+    /// True if this cube's literal set contains all of `o`'s literals.
+    bool contains(const Cube& o) const {
+        return (o.pos & ~pos) == 0 && (o.neg & ~neg) == 0;
+    }
+};
+
+/// A cube cover (disjunction of cubes).  An empty cover is constant 0;
+/// a cover containing the empty cube is constant 1 (assuming irredundance).
+class Sop {
+public:
+    explicit Sop(unsigned num_vars = 0) : num_vars_(num_vars) {}
+    Sop(unsigned num_vars, std::vector<Cube> cubes)
+        : num_vars_(num_vars), cubes_(std::move(cubes)) {}
+
+    unsigned num_vars() const { return num_vars_; }
+    const std::vector<Cube>& cubes() const { return cubes_; }
+    std::vector<Cube>& cubes() { return cubes_; }
+    std::size_t num_cubes() const { return cubes_.size(); }
+    bool empty() const { return cubes_.empty(); }
+
+    void add_cube(const Cube& c) { cubes_.push_back(c); }
+
+    /// Total number of literals across all cubes.
+    std::size_t num_literals() const;
+
+    /// Evaluate to a truth table over num_vars() variables.
+    TruthTable to_tt() const;
+
+    /// Count of cubes containing the given literal.
+    std::size_t literal_occurrences(unsigned var, bool positive) const;
+
+    /// Human-readable algebraic form, e.g. "a!b + c".
+    std::string to_string() const;
+
+private:
+    unsigned num_vars_;
+    std::vector<Cube> cubes_;
+};
+
+/// Truth table of a single cube over `num_vars` variables.
+TruthTable cube_to_tt(const Cube& c, unsigned num_vars);
+
+}  // namespace bg::tt

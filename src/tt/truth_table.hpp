@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file truth_table.hpp
+/// Word-parallel truth tables over up to 20 variables.  Used for cut
+/// functions (rewriting), window functions (resubstitution) and collapsed
+/// cone functions (refactoring).
+///
+/// Representation: 2^n bits packed into 64-bit words.  For n < 6 the
+/// 2^n-bit pattern is *replicated* to fill the single word, which lets all
+/// bitwise and cofactor operations work uniformly on whole words (the same
+/// convention ABC's Kit/Tt packages use).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bg::tt {
+
+/// Practical cap: refactoring collapses cones of at most ~14 leaves and
+/// equivalence checks enumerate at most 2^20 patterns.
+inline constexpr unsigned max_vars = 20;
+
+class TruthTable {
+public:
+    /// Constant-0 function of `num_vars` variables.
+    explicit TruthTable(unsigned num_vars = 0);
+
+    static TruthTable zeros(unsigned num_vars) { return TruthTable(num_vars); }
+    static TruthTable ones(unsigned num_vars);
+    /// Projection x_i as a function of `num_vars` variables.
+    static TruthTable nth_var(unsigned num_vars, unsigned i);
+    /// Lift a 16-bit 4-variable function to `num_vars` >= 4 variables.
+    static TruthTable from_u16(std::uint16_t bits, unsigned num_vars = 4);
+    /// Parse from hex string as produced by to_hex() (MSB first).
+    static TruthTable from_hex(unsigned num_vars, const std::string& hex);
+
+    unsigned num_vars() const { return num_vars_; }
+    std::uint64_t num_bits() const { return 1ULL << num_vars_; }
+    std::size_t num_words() const { return words_.size(); }
+
+    bool get_bit(std::uint64_t minterm) const;
+    void set_bit(std::uint64_t minterm, bool value);
+
+    bool is_const0() const;
+    bool is_const1() const;
+    std::uint64_t count_ones() const;
+
+    /// True iff the function changes when x_i flips.
+    bool depends_on(unsigned i) const;
+    /// Bitmask of variables the function depends on.
+    std::uint32_t support_mask() const;
+    unsigned support_size() const;
+
+    TruthTable cofactor0(unsigned i) const;  ///< f with x_i = 0
+    TruthTable cofactor1(unsigned i) const;  ///< f with x_i = 1
+
+    /// Swap the roles of variables i and j.
+    TruthTable swap_vars(unsigned i, unsigned j) const;
+    /// Complement variable i (f(x_i <- !x_i)).
+    TruthTable flip_var(unsigned i) const;
+
+    /// Low 16 bits as a 4-variable function (requires num_vars <= 4).
+    std::uint16_t to_u16() const;
+    std::string to_hex() const;
+    std::string to_binary() const;  ///< MSB(minterm 2^n-1) ... LSB(minterm 0)
+
+    TruthTable operator~() const;
+    TruthTable operator&(const TruthTable& o) const;
+    TruthTable operator|(const TruthTable& o) const;
+    TruthTable operator^(const TruthTable& o) const;
+    TruthTable& operator&=(const TruthTable& o);
+    TruthTable& operator|=(const TruthTable& o);
+    TruthTable& operator^=(const TruthTable& o);
+    bool operator==(const TruthTable& o) const;
+    bool operator!=(const TruthTable& o) const { return !(*this == o); }
+
+    /// True iff this implies `o` bitwise (this & ~o == 0).
+    bool implies(const TruthTable& o) const;
+
+    /// 64-bit mixing hash (for memo tables).
+    std::uint64_t hash() const;
+
+    /// Raw word access (word w holds minterms [64w, 64w+63]).
+    const std::vector<std::uint64_t>& words() const { return words_; }
+    std::vector<std::uint64_t>& words() { return words_; }
+
+private:
+    void normalize();  ///< re-establish the replication / masking invariant
+
+    unsigned num_vars_;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bg::tt

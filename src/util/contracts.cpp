@@ -1,0 +1,17 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace bg::detail {
+
+void contract_fail(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& msg) {
+    std::ostringstream os;
+    os << kind << " failed: (" << cond << ") at " << file << ':' << line;
+    if (!msg.empty()) {
+        os << " — " << msg;
+    }
+    throw ContractViolation(os.str());
+}
+
+}  // namespace bg::detail

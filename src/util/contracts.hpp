@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Lightweight precondition / invariant checking in the spirit of the
+/// C++ Core Guidelines' Expects()/Ensures().  Violations throw
+/// bg::ContractViolation so they are testable and never silently corrupt
+/// a Boolean network.
+
+#include <stdexcept>
+#include <string>
+
+namespace bg {
+
+/// Thrown when a BG_ASSERT / BG_EXPECTS / BG_ENSURES condition fails.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* cond,
+                                const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace bg
+
+/// Check an invariant; active in all build types (Boolean-network corruption
+/// is never acceptable, and the checks are cheap).
+#define BG_ASSERT(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bg::detail::contract_fail("assertion", #cond, __FILE__,        \
+                                        __LINE__, (msg));                    \
+        }                                                                    \
+    } while (false)
+
+/// Precondition on a public API argument.
+#define BG_EXPECTS(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bg::detail::contract_fail("precondition", #cond, __FILE__,     \
+                                        __LINE__, (msg));                    \
+        }                                                                    \
+    } while (false)
+
+/// Postcondition check.
+#define BG_ENSURES(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bg::detail::contract_fail("postcondition", #cond, __FILE__,    \
+                                        __LINE__, (msg));                    \
+        }                                                                    \
+    } while (false)

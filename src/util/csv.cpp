@@ -1,0 +1,153 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bg {
+
+std::string csv_escape(const std::string& cell) {
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) {
+            *os_ << ',';
+        }
+        *os_ << csv_escape(cells[i]);
+    }
+    *os_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& cells) {
+    std::vector<std::string> out;
+    out.reserve(cells.size());
+    for (const double v : cells) {
+        std::ostringstream ss;
+        ss.precision(17);
+        ss << v;
+        out.push_back(ss.str());
+    }
+    write_row(out);
+}
+
+namespace {
+
+std::vector<std::vector<std::string>> parse_rows(const std::string& text) {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool in_quotes = false;
+    bool cell_started = false;
+
+    const auto flush_cell = [&] {
+        row.push_back(cell);
+        cell.clear();
+        cell_started = false;
+    };
+    const auto flush_row = [&] {
+        flush_cell();
+        // Skip rows that are completely empty (e.g. trailing newline).
+        if (!(row.size() == 1 && row[0].empty())) {
+            rows.push_back(row);
+        }
+        row.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell += c;
+            }
+            continue;
+        }
+        switch (c) {
+            case '"':
+                in_quotes = true;
+                cell_started = true;
+                break;
+            case ',':
+                flush_cell();
+                break;
+            case '\r':
+                break;  // handled with the following \n (or ignored)
+            case '\n':
+                flush_row();
+                break;
+            default:
+                cell += c;
+                cell_started = true;
+                break;
+        }
+    }
+    if (cell_started || !cell.empty() || !row.empty()) {
+        flush_row();
+    }
+    return rows;
+}
+
+}  // namespace
+
+CsvTable parse_csv(const std::string& text, bool has_header) {
+    CsvTable table;
+    auto rows = parse_rows(text);
+    if (has_header && !rows.empty()) {
+        table.header = std::move(rows.front());
+        rows.erase(rows.begin());
+    }
+    table.rows = std::move(rows);
+    return table;
+}
+
+CsvTable load_csv(const std::filesystem::path& path, bool has_header) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot open CSV file: " + path.string());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_csv(ss.str(), has_header);
+}
+
+void save_csv(const std::filesystem::path& path, const CsvTable& table) {
+    if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path());
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        throw std::runtime_error("cannot write CSV file: " + path.string());
+    }
+    CsvWriter w(out);
+    if (!table.header.empty()) {
+        w.write_row(table.header);
+    }
+    for (const auto& row : table.rows) {
+        w.write_row(row);
+    }
+}
+
+}  // namespace bg

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV reading/writing.  The paper stores the per-node manipulation
+/// decision vector D in CSV; datasets and experiment outputs use the same
+/// format so results can be inspected with standard tooling.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bg {
+
+/// A parsed CSV table: optional header row plus string cells.
+struct CsvTable {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/// Incremental CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+    void write_row(const std::vector<std::string>& cells);
+
+    /// Convenience: format doubles with full round-trip precision.
+    void write_row_numeric(const std::vector<double>& cells);
+
+private:
+    std::ostream* os_;
+};
+
+/// Parse CSV text. If `has_header` the first row becomes `header`.
+/// Handles quoted cells, embedded commas/quotes and both \n and \r\n.
+CsvTable parse_csv(const std::string& text, bool has_header);
+
+/// Load a CSV file; throws std::runtime_error if the file cannot be read.
+CsvTable load_csv(const std::filesystem::path& path, bool has_header);
+
+/// Write a whole table to a file (creates parent directories).
+void save_csv(const std::filesystem::path& path, const CsvTable& table);
+
+/// Escape one cell per RFC 4180 (quote iff it contains , " or newline).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace bg

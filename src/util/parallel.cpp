@@ -1,0 +1,10 @@
+#include "util/parallel.hpp"
+
+namespace bg {
+
+std::size_t default_worker_count() {
+    const auto hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+}  // namespace bg

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic fork-join parallelism: parallel_for runs f(i) for
+/// i in [0, n) across a bounded set of worker threads.  Results must be
+/// written to pre-sized per-index slots so the output is independent of
+/// scheduling; all BoolGebra uses follow that pattern (sample evaluation,
+/// per-node feature checks).
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace bg {
+
+/// Number of workers to use by default (hardware concurrency, at least 1).
+std::size_t default_worker_count();
+
+/// Run f(i) for every i in [0, n), using up to `workers` threads
+/// (0 = default_worker_count()).  f must be safe to call concurrently for
+/// distinct i.  Exceptions thrown by f terminate the process (workers are
+/// plain threads); keep f noexcept in spirit.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& f, std::size_t workers = 0) {
+    if (n == 0) {
+        return;
+    }
+    if (workers == 0) {
+        workers = default_worker_count();
+    }
+    workers = std::min(workers, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            f(i);
+        }
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n) {
+                    return;
+                }
+                f(i);
+            }
+        });
+    }
+    for (auto& t : pool) {
+        t.join();
+    }
+}
+
+}  // namespace bg

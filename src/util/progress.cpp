@@ -1,0 +1,79 @@
+#include "util/progress.hpp"
+
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace bg {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    BG_EXPECTS(cells.size() == headers_.size(),
+               "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string TablePrinter::str() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    const auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        rule.emplace_back(widths[c], '-');
+    }
+    emit(rule);
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+    return os.str();
+}
+
+void TablePrinter::print() const {
+    std::fputs(str().c_str(), stdout);
+}
+
+bool full_scale_requested() {
+    const char* env = std::getenv("BOOLGEBRA_FULL");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+}
+
+bool full_scale_requested(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            return true;
+        }
+    }
+    return full_scale_requested();
+}
+
+}  // namespace bg

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file progress.hpp
+/// Small console reporting helpers shared by examples and bench harnesses:
+/// aligned table printing and elapsed-time measurement.
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bg {
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds since construction / last reset.
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Fixed-column ASCII table builder for paper-style result tables.
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with a header rule, e.g.:
+    ///   Design  rewrite  resub
+    ///   ------  -------  -----
+    ///   b07     0.981    0.975
+    std::string str() const;
+
+    /// Render and write to stdout.
+    void print() const;
+
+    static std::string fmt(double v, int precision = 3);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// True when the environment requests paper-scale experiment parameters
+/// (BOOLGEBRA_FULL=1) rather than the quick defaults.
+bool full_scale_requested();
+
+/// True when `--full` appears among the CLI args or BOOLGEBRA_FULL=1.
+bool full_scale_requested(int argc, char** argv);
+
+}  // namespace bg

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.  Every stochastic
+/// component in BoolGebra (sampling, circuit generation, weight init,
+/// dropout) draws from an explicitly seeded bg::Rng so experiments are
+/// reproducible run-to-run and machine-to-machine.
+
+#include <cstdint>
+#include <vector>
+
+namespace bg {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+/// Seeded through splitmix64 so any 64-bit seed gives a good state.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed);
+
+    /// Uniform 64-bit word.
+    std::uint64_t next_u64();
+
+    // UniformRandomBitGenerator interface (usable with <random> adaptors).
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next_u64(); }
+
+    /// Uniform integer in [0, bound), bound > 0.  Uses Lemire reduction.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Uniform float in [0, 1).
+    float next_float() { return static_cast<float>(next_double()); }
+
+    /// Bernoulli(p).
+    bool next_bool(double p = 0.5) { return next_double() < p; }
+
+    /// Standard normal via Box-Muller (cached second value).
+    double next_gaussian();
+
+    /// Fork an independent stream (for per-thread / per-design use).
+    Rng split();
+
+    /// Fisher-Yates shuffle of a vector.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(next_below(i));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// k distinct indices from [0, n), k <= n (partial Fisher-Yates).
+    std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+private:
+    std::uint64_t s_[4]{};
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+}  // namespace bg

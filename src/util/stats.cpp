@@ -1,0 +1,202 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace bg {
+
+double mean(std::span<const double> values) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+    if (values.size() < 2) {
+        return 0.0;
+    }
+    const double m = mean(values);
+    double acc = 0.0;
+    for (const double v : values) {
+        acc += (v - m) * (v - m);
+    }
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double percentile(std::span<const double> values, double q) {
+    BG_EXPECTS(q >= 0.0 && q <= 1.0, "percentile q must lie in [0,1]");
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+    Summary s;
+    s.count = values.size();
+    if (values.empty()) {
+        return s;
+    }
+    s.mean = mean(values);
+    s.stddev = stddev(values);
+    const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    s.min = *mn;
+    s.max = *mx;
+    s.median = percentile(values, 0.5);
+    s.p10 = percentile(values, 0.1);
+    s.p90 = percentile(values, 0.9);
+    return s;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+    BG_EXPECTS(x.size() == y.size(), "pearson requires equal-length samples");
+    const std::size_t n = x.size();
+    if (n < 2) {
+        return 0.0;
+    }
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) {
+        return 0.0;
+    }
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> values) {
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values[a] < values[b];
+    });
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+            ++j;
+        }
+        // Average rank over the tie group [i, j].
+        const double avg_rank = (static_cast<double>(i) +
+                                 static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) {
+            out[order[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    return out;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+    BG_EXPECTS(x.size() == y.size(), "spearman requires equal-length samples");
+    const auto rx = ranks(x);
+    const auto ry = ranks(y);
+    return pearson(rx, ry);
+}
+
+double mse(std::span<const double> pred, std::span<const double> truth) {
+    BG_EXPECTS(pred.size() == truth.size(), "mse requires equal lengths");
+    if (pred.empty()) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        const double d = pred[i] - truth[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(pred.size());
+}
+
+double mae(std::span<const double> pred, std::span<const double> truth) {
+    BG_EXPECTS(pred.size() == truth.size(), "mae requires equal lengths");
+    if (pred.empty()) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        acc += std::abs(pred[i] - truth[i]);
+    }
+    return acc / static_cast<double>(pred.size());
+}
+
+Histogram histogram(std::span<const double> values, std::size_t bins,
+                    double lo, double hi) {
+    BG_EXPECTS(bins > 0, "histogram needs at least one bin");
+    BG_EXPECTS(hi >= lo, "histogram range must be ordered");
+    Histogram h;
+    h.lo = lo;
+    h.hi = hi;
+    h.counts.assign(bins, 0);
+    const double width = (hi > lo) ? (hi - lo) : 1.0;
+    for (const double v : values) {
+        double t = (v - lo) / width;
+        t = std::clamp(t, 0.0, 1.0);
+        auto idx = static_cast<std::size_t>(t * static_cast<double>(bins));
+        if (idx == bins) {
+            idx = bins - 1;
+        }
+        ++h.counts[idx];
+    }
+    return h;
+}
+
+Histogram histogram(std::span<const double> values, std::size_t bins) {
+    if (values.empty()) {
+        return histogram(values, bins, 0.0, 1.0);
+    }
+    const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    return histogram(values, bins, *mn, *mx);
+}
+
+std::vector<double> Histogram::densities() const {
+    std::vector<double> out(counts.size(), 0.0);
+    const auto total = std::accumulate(counts.begin(), counts.end(),
+                                       std::size_t{0});
+    if (total == 0) {
+        return out;
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        out[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+    }
+    return out;
+}
+
+std::string sparkline(const Histogram& h) {
+    static const char* levels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+    const auto peak = h.counts.empty()
+                          ? std::size_t{0}
+                          : *std::max_element(h.counts.begin(), h.counts.end());
+    std::string out;
+    for (const std::size_t c : h.counts) {
+        if (peak == 0) {
+            out += levels[0];
+            continue;
+        }
+        const auto idx = (c * 8 + peak - 1) / peak;  // ceil to 0..8
+        out += levels[std::min<std::size_t>(idx, 8)];
+    }
+    return out;
+}
+
+}  // namespace bg

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics and correlation measures used by the experiment
+/// harnesses (Fig 2 densities, Fig 5/6 scatter correlations, Table I means).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bg {
+
+/// Summary of a sample of real values.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p10 = 0.0;  ///< 10th percentile
+    double p90 = 0.0;  ///< 90th percentile
+};
+
+/// Compute a full summary of `values` (empty input yields a zero Summary).
+Summary summarize(std::span<const double> values);
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+/// Linear interpolation percentile, q in [0, 1].
+double percentile(std::span<const double> values, double q);
+
+/// Pearson linear correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Mean squared error between predictions and targets.
+double mse(std::span<const double> pred, std::span<const double> truth);
+
+/// Mean absolute error.
+double mae(std::span<const double> pred, std::span<const double> truth);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets.
+struct Histogram {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::size_t> counts;
+
+    /// Fraction of samples per bin (empty histogram => empty vector).
+    std::vector<double> densities() const;
+};
+
+Histogram histogram(std::span<const double> values, std::size_t bins);
+Histogram histogram(std::span<const double> values, std::size_t bins,
+                    double lo, double hi);
+
+/// Render a one-line ASCII sparkline of bin densities, e.g. "▂▃▆█▅▂".
+std::string sparkline(const Histogram& h);
+
+/// Fractional ranks (average over ties), values unchanged.
+std::vector<double> ranks(std::span<const double> values);
+
+}  // namespace bg

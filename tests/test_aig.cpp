@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+
+TEST(Lit, EncodingHelpers) {
+    EXPECT_EQ(lit_var(make_lit(5, false)), 5u);
+    EXPECT_EQ(lit_var(make_lit(5, true)), 5u);
+    EXPECT_TRUE(lit_is_compl(make_lit(5, true)));
+    EXPECT_FALSE(lit_is_compl(make_lit(5, false)));
+    EXPECT_EQ(lit_not(make_lit(5, false)), make_lit(5, true));
+    EXPECT_EQ(lit_not_cond(make_lit(5, false), true), make_lit(5, true));
+    EXPECT_EQ(lit_not_cond(make_lit(5, false), false), make_lit(5, false));
+    EXPECT_EQ(lit_regular(make_lit(5, true)), make_lit(5, false));
+    EXPECT_EQ(lit_false, 0u);
+    EXPECT_EQ(lit_true, 1u);
+}
+
+TEST(Aig, EmptyGraph) {
+    Aig g;
+    EXPECT_EQ(g.num_pis(), 0u);
+    EXPECT_EQ(g.num_pos(), 0u);
+    EXPECT_EQ(g.num_ands(), 0u);
+    EXPECT_EQ(g.num_slots(), 1u);  // constant node
+    g.check_integrity();
+}
+
+TEST(Aig, TrivialAndRules) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    EXPECT_EQ(g.and_(a, lit_false), lit_false);
+    EXPECT_EQ(g.and_(lit_false, b), lit_false);
+    EXPECT_EQ(g.and_(a, lit_true), a);
+    EXPECT_EQ(g.and_(lit_true, b), b);
+    EXPECT_EQ(g.and_(a, a), a);
+    EXPECT_EQ(g.and_(a, lit_not(a)), lit_false);
+    EXPECT_EQ(g.num_ands(), 0u) << "trivial ANDs must not allocate nodes";
+    g.check_integrity();
+}
+
+TEST(Aig, StructuralHashingDeduplicates) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(b, a);  // commuted
+    EXPECT_EQ(x, y);
+    EXPECT_EQ(g.num_ands(), 1u);
+    const Lit z = g.and_(lit_not(a), b);
+    EXPECT_NE(x, z);
+    EXPECT_EQ(g.num_ands(), 2u);
+    g.check_integrity();
+}
+
+TEST(Aig, LookupAndDoesNotCreate) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    EXPECT_EQ(g.lookup_and(a, b), null_lit);
+    EXPECT_EQ(g.num_ands(), 0u);
+    const Lit x = g.and_(a, b);
+    EXPECT_EQ(g.lookup_and(a, b), x);
+    EXPECT_EQ(g.lookup_and(b, a), x);
+    EXPECT_EQ(g.lookup_and(a, lit_true), a) << "trivial lookups simplify";
+}
+
+TEST(Aig, RefCountsTrackFanouts) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, c);
+    g.add_po(y);
+    EXPECT_EQ(g.ref_count(lit_var(a)), 1u);
+    EXPECT_EQ(g.ref_count(lit_var(x)), 1u);
+    EXPECT_EQ(g.ref_count(lit_var(y)), 1u);  // the PO
+    const Lit z = g.and_(x, lit_not(c));
+    g.add_po(z);
+    EXPECT_EQ(g.ref_count(lit_var(x)), 2u);
+    EXPECT_EQ(g.ref_count(lit_var(c)), 2u);
+    g.check_integrity();
+}
+
+TEST(Aig, XorMuxMajSemantics) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    g.add_po(g.xor_(a, b));
+    g.add_po(g.mux_(a, b, c));
+    g.add_po(g.maj_(a, b, c));
+    g.check_integrity();
+    // Semantics verified via simulation in test_sim_cec; here check sharing:
+    EXPECT_GT(g.num_ands(), 0u);
+}
+
+TEST(Aig, AndOrReduce) {
+    Aig g;
+    const auto pis = g.add_pis(5);
+    const Lit all = g.and_reduce(pis);
+    g.add_po(all);
+    EXPECT_EQ(g.and_reduce(std::span<const Lit>{}), lit_true);
+    EXPECT_EQ(g.or_reduce(std::span<const Lit>{}), lit_false);
+    EXPECT_EQ(g.and_reduce(std::span<const Lit>(pis.data(), 1)), pis[0]);
+    g.check_integrity();
+}
+
+TEST(Aig, TopoOrderRespectsFanins) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, lit_not(a));
+    const Lit z = g.and_(y, x);
+    g.add_po(z);
+    const auto order = g.topo_ands();
+    ASSERT_EQ(order.size(), 3u);
+    std::vector<std::size_t> pos(g.num_slots(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        pos[order[i]] = i + 1;
+    }
+    for (const Var v : order) {
+        for (const Lit f : {g.fanin0(v), g.fanin1(v)}) {
+            if (g.is_and(lit_var(f))) {
+                EXPECT_LT(pos[lit_var(f)], pos[v]);
+            }
+        }
+    }
+}
+
+TEST(Aig, LevelsAndDepth) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, c);
+    const Lit z = g.and_(y, lit_not(x));
+    g.add_po(z);
+    EXPECT_EQ(g.depth(), 3u);
+    EXPECT_EQ(g.level(lit_var(x)), 1u);
+    EXPECT_EQ(g.level(lit_var(y)), 2u);
+    EXPECT_EQ(g.level(lit_var(z)), 3u);
+    EXPECT_EQ(g.level(lit_var(a)), 0u);
+}
+
+TEST(Aig, IsInTfi) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, c);
+    g.add_po(y);
+    EXPECT_TRUE(g.is_in_tfi(lit_var(y), lit_var(x)));
+    EXPECT_TRUE(g.is_in_tfi(lit_var(y), lit_var(a)));
+    EXPECT_TRUE(g.is_in_tfi(lit_var(y), lit_var(y)));
+    EXPECT_FALSE(g.is_in_tfi(lit_var(x), lit_var(y)));
+    EXPECT_FALSE(g.is_in_tfi(lit_var(x), lit_var(c)));
+}
+
+TEST(Aig, DeleteUnreferencedCone) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, c);
+    // y has no references: deleting it must also free x.
+    EXPECT_EQ(g.num_ands(), 2u);
+    g.delete_unreferenced(lit_var(y));
+    EXPECT_EQ(g.num_ands(), 0u);
+    EXPECT_TRUE(g.is_dead(lit_var(y)));
+    EXPECT_TRUE(g.is_dead(lit_var(x)));
+    g.check_integrity();
+}
+
+TEST(Aig, DeleteStopsAtReferencedNodes) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, c);
+    g.add_po(x);  // x stays alive through the PO
+    g.delete_unreferenced(lit_var(y));
+    EXPECT_TRUE(g.is_dead(lit_var(y)));
+    EXPECT_FALSE(g.is_dead(lit_var(x)));
+    EXPECT_EQ(g.num_ands(), 1u);
+    g.check_integrity();
+}
+
+TEST(Aig, DeadNodeSlotIsReusedNever) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    g.delete_unreferenced(lit_var(x));
+    const Lit y = g.and_(a, b);  // recreate the same structure
+    EXPECT_NE(lit_var(y), lit_var(x)) << "tombstoned slots must not revive";
+    g.check_integrity();
+}
+
+TEST(Aig, CompactDropsTombstones) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, c);
+    const Lit dead = g.and_(lit_not(a), c);
+    g.add_po(y);
+    g.delete_unreferenced(lit_var(dead));
+    std::vector<Lit> map;
+    const Aig h = g.compact(&map);
+    EXPECT_EQ(h.num_ands(), 2u);
+    EXPECT_EQ(h.num_pis(), 3u);
+    EXPECT_EQ(h.num_pos(), 1u);
+    EXPECT_EQ(h.num_slots(), 1 + 3 + 2);
+    EXPECT_EQ(map[lit_var(dead)], null_lit);
+    h.check_integrity();
+}
+
+TEST(Aig, CompactPreservesPolarities) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(lit_not(a), b);
+    g.add_po(lit_not(x));
+    const Aig h = g.compact();
+    ASSERT_EQ(h.num_pos(), 1u);
+    EXPECT_TRUE(lit_is_compl(h.po(0)));
+    const Var xv = lit_var(h.po(0));
+    EXPECT_TRUE(lit_is_compl(h.fanin0(xv)) != lit_is_compl(h.fanin1(xv)));
+}
+
+TEST(Aig, PoRefsCount) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    g.add_po(x);
+    g.add_po(lit_not(x));
+    g.add_po(a);
+    EXPECT_EQ(g.po_refs(lit_var(x)), 2u);
+    EXPECT_EQ(g.po_refs(lit_var(a)), 1u);
+    EXPECT_EQ(g.po_refs(lit_var(b)), 0u);
+}
+
+TEST(Aig, AddPoToDeadNodeThrows) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    g.delete_unreferenced(lit_var(x));
+    EXPECT_THROW(g.add_po(x), bg::ContractViolation);
+}
+
+TEST(Aig, ToStringMentionsCounts) {
+    Aig g;
+    g.add_pis(3);
+    const auto s = g.to_string();
+    EXPECT_NE(s.find("pis=3"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/cec.hpp"
+#include "aig/simulation.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+
+/// Simulate all POs exhaustively and return the signatures (<= 14 PIs).
+SimVectors po_truth(const Aig& g) {
+    const auto pats = exhaustive_patterns(g.num_pis());
+    return po_signatures(g, simulate(g, pats));
+}
+
+TEST(Replace, SimpleRedirect) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, c);
+    g.add_po(y);
+    // Replace x by a (pretend we proved x == a).
+    g.replace(lit_var(x), a);
+    g.check_integrity();
+    EXPECT_TRUE(g.is_dead(lit_var(x)));
+    EXPECT_EQ(g.num_ands(), 1u);
+    // y must now be AND(a, c).
+    const Var yv = lit_var(g.po(0));
+    EXPECT_FALSE(g.is_dead(yv));
+    const auto f0 = g.fanin0(yv);
+    const auto f1 = g.fanin1(yv);
+    EXPECT_TRUE((f0 == a && f1 == c) || (f0 == c && f1 == a));
+}
+
+TEST(Replace, ComplementedRedirect) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(lit_not(x), c);  // uses !x
+    g.add_po(y);
+    g.replace(lit_var(x), lit_not(a));  // x := !a, so !x := a
+    g.check_integrity();
+    const Var yv = lit_var(g.po(0));
+    const auto f0 = g.fanin0(yv);
+    const auto f1 = g.fanin1(yv);
+    EXPECT_TRUE((f0 == a && f1 == c) || (f0 == c && f1 == a));
+}
+
+TEST(Replace, PoRedirect) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    g.add_po(x);
+    g.add_po(lit_not(x));
+    g.replace(lit_var(x), lit_not(a));
+    g.check_integrity();
+    EXPECT_EQ(g.po(0), lit_not(a));
+    EXPECT_EQ(g.po(1), a);
+    EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(Replace, CascadingMergeThroughStrash) {
+    // Two structurally different nodes become identical after the replace
+    // and must merge, cascading upward.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit d = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit u = g.and_(x, c);        // AND(x, c)
+    const Lit w = g.and_(d, c);        // AND(d, c)
+    const Lit top = g.and_(u, lit_not(w));
+    g.add_po(top);
+    // After x := d, u becomes AND(d, c) == w, so u merges into w and
+    // top becomes AND(w, !w) == const0, cascading into the PO.
+    g.replace(lit_var(x), d);
+    g.check_integrity();
+    EXPECT_EQ(g.po(0), lit_false);
+    EXPECT_EQ(g.num_ands(), 0u) << "everything should be swept";
+}
+
+TEST(Replace, TrivialCollapseToConstant) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, lit_not(a));  // x & !a
+    g.add_po(y);
+    // x := a makes y = a & !a = 0.
+    g.replace(lit_var(x), a);
+    g.check_integrity();
+    EXPECT_EQ(g.po(0), lit_false);
+}
+
+TEST(Replace, TrivialCollapseToOther) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, a);  // absorbs to x when x := a
+    g.add_po(y);
+    g.replace(lit_var(x), a);
+    g.check_integrity();
+    EXPECT_EQ(g.po(0), a);
+    EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(Replace, KeepsSharedFaninAlive) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit shared = g.and_(a, b);
+    const Lit x = g.and_(shared, c);
+    const Lit other = g.and_(shared, lit_not(c));
+    g.add_po(x);
+    g.add_po(other);
+    g.replace(lit_var(x), a);
+    g.check_integrity();
+    EXPECT_FALSE(g.is_dead(lit_var(shared)))
+        << "shared must survive, the other PO still uses it";
+    EXPECT_TRUE(g.is_dead(lit_var(x)));
+}
+
+TEST(Replace, SelfReplacementThrows) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    g.add_po(x);
+    EXPECT_THROW(g.replace(lit_var(x), x), bg::ContractViolation);
+    EXPECT_THROW(g.replace(lit_var(x), lit_not(x)), bg::ContractViolation);
+}
+
+TEST(Replace, CycleCreationThrows) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    const Lit y = g.and_(x, lit_not(a));
+    g.add_po(y);
+    // Replacing x (in y's TFI) by y would create a cycle.
+    EXPECT_THROW(g.replace(lit_var(x), y), bg::ContractViolation);
+}
+
+TEST(Replace, FunctionPreservingRandomizedEquivalences) {
+    // Property test: build a random AIG, pick any AND node v, rebuild an
+    // equivalent literal for it from scratch (same function over PIs), do
+    // the replace, and check the whole network function is unchanged.
+    bg::Rng rng(2024);
+    for (int round = 0; round < 30; ++round) {
+        Aig g;
+        const auto pis = g.add_pis(6);
+        std::vector<Lit> pool(pis);
+        for (int k = 0; k < 40; ++k) {
+            const Lit u = lit_not_cond(
+                pool[rng.next_below(pool.size())], rng.next_bool());
+            const Lit v = lit_not_cond(
+                pool[rng.next_below(pool.size())], rng.next_bool());
+            pool.push_back(g.and_(u, v));
+        }
+        for (int k = 0; k < 4; ++k) {
+            g.add_po(lit_not_cond(pool[pool.size() - 1 - static_cast<std::size_t>(k)],
+                                  rng.next_bool()));
+        }
+        const auto before = po_truth(g);
+
+        // Pick a live AND node and clone its cone function through fresh
+        // nodes (the strash may or may not dedupe pieces of it).
+        const auto ands = g.topo_ands();
+        if (ands.empty()) {
+            continue;
+        }
+        const Var target = ands[rng.next_below(ands.size())];
+        // Rebuild target's function from PIs bottom-up over its cone.
+        std::vector<Lit> rebuilt(g.num_slots(), null_lit);
+        rebuilt[0] = lit_false;
+        for (const Var pv : g.pis()) {
+            rebuilt[pv] = make_lit(pv);
+        }
+        for (const Var v : g.topo_ands()) {
+            const Lit f0 = g.fanin0(v);
+            const Lit f1 = g.fanin1(v);
+            rebuilt[v] =
+                g.and_(lit_not_cond(rebuilt[lit_var(f0)], lit_is_compl(f0)),
+                       lit_not_cond(rebuilt[lit_var(f1)], lit_is_compl(f1)));
+        }
+        const Lit equiv = rebuilt[target];
+        if (lit_var(equiv) == target) {
+            continue;  // strash returned the node itself; nothing to test
+        }
+        if (g.is_in_tfi(lit_var(equiv), target)) {
+            continue;  // would be a cycle; not a legal replacement
+        }
+        g.replace(target, equiv);
+        g.check_integrity();
+        const auto after = po_truth(g);
+        ASSERT_EQ(before.size(), after.size());
+        for (std::size_t i = 0; i < before.size(); ++i) {
+            EXPECT_EQ(before[i], after[i]) << "round " << round << " po " << i;
+        }
+    }
+}
+
+TEST(Replace, ChainOfReplacementsKeepsIntegrity) {
+    // Stress: repeatedly replace nodes with equivalent constants computed
+    // by construction (x & !x patterns) and audit after each step.
+    Aig g;
+    const auto pis = g.add_pis(4);
+    const Lit ab = g.and_(pis[0], pis[1]);
+    const Lit abc = g.and_(ab, pis[2]);
+    const Lit zero = g.and_(abc, lit_not(abc));  // constant 0 by construction
+    EXPECT_EQ(zero, lit_false) << "trivial rule should have caught this";
+
+    const Lit u = g.and_(pis[2], pis[3]);
+    const Lit v = g.and_(ab, u);
+    g.add_po(v);
+    g.add_po(abc);
+    g.check_integrity();
+    // Replace u := pis[2] (a strict strengthening is NOT function-safe in
+    // general, but the harness only checks structural integrity here).
+    g.replace(lit_var(u), pis[2]);
+    g.check_integrity();
+    EXPECT_EQ(g.num_pos(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "aig/cec.hpp"
+#include "circuits/registry.hpp"
+#include "opt/balance.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+using bg::opt::balance;
+using bg::opt::balance_in_place;
+
+TEST(Balance, ChainBecomesTree) {
+    // a & (b & (c & d)): depth 3 -> balanced depth 2.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit d = g.add_pi();
+    g.add_po(g.and_(a, g.and_(b, g.and_(c, d))));
+    EXPECT_EQ(g.depth(), 3u);
+    Aig h = balance(g);
+    EXPECT_EQ(h.depth(), 2u);
+    EXPECT_EQ(h.num_ands(), 3u);
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::Equivalent);
+}
+
+TEST(Balance, LongChainLogDepth) {
+    Aig g;
+    const auto pis = g.add_pis(16);
+    Lit acc = pis[0];
+    for (std::size_t i = 1; i < pis.size(); ++i) {
+        acc = g.and_(acc, pis[i]);  // left-leaning chain, depth 15
+    }
+    g.add_po(acc);
+    EXPECT_EQ(g.depth(), 15u);
+    Aig h = balance(g);
+    EXPECT_EQ(h.depth(), 4u);  // ceil(log2(16))
+    EXPECT_EQ(check_equivalence(g, h),
+              CecVerdict::ProbablyEquivalent);  // 16 PIs > exhaustive limit
+}
+
+TEST(Balance, RespectsComplementBoundaries) {
+    // !(a & b) & c is NOT a flat 3-AND; balancing must not flatten
+    // through the complemented edge.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    g.add_po(g.and_(lit_not(g.and_(a, b)), c));
+    Aig h = balance(g);
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::Equivalent);
+    EXPECT_EQ(h.num_ands(), 2u);
+}
+
+TEST(Balance, RespectsSharedNodes) {
+    // A shared AND node must not be duplicated into both fanout trees.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit d = g.add_pi();
+    const Lit shared = g.and_(a, b);
+    g.add_po(g.and_(shared, c));
+    g.add_po(g.and_(shared, d));
+    Aig h = balance(g);
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::Equivalent);
+    EXPECT_LE(h.num_ands(), g.num_ands());
+}
+
+TEST(Balance, PreservesFunctionOnRandomGraphs) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const Aig g = bg::test::redundant_aig(8, 40, 4, seed);
+        Aig h = balance(g);
+        h.check_integrity();
+        EXPECT_EQ(check_equivalence(g, h), CecVerdict::Equivalent)
+            << "seed " << seed;
+        EXPECT_LE(h.num_ands(), g.num_ands() + 2)
+            << "balance should not grow the graph materially";
+    }
+}
+
+TEST(Balance, InPlaceReportsDepthChange) {
+    Aig g;
+    const auto pis = g.add_pis(8);
+    Lit acc = pis[0];
+    for (std::size_t i = 1; i < pis.size(); ++i) {
+        acc = g.and_(acc, pis[i]);
+    }
+    g.add_po(acc);
+    const int gained = balance_in_place(g);
+    EXPECT_EQ(gained, 7 - 3);
+    EXPECT_EQ(g.depth(), 3u);
+}
+
+TEST(Balance, IdempotentOnBalancedTrees) {
+    Aig g;
+    const auto pis = g.add_pis(8);
+    g.add_po(g.and_reduce(pis));  // already balanced
+    Aig h = balance(g);
+    EXPECT_EQ(h.depth(), g.depth());
+    EXPECT_EQ(h.num_ands(), g.num_ands());
+}
+
+TEST(Balance, RegistryDesignsReduceOrKeepDepth) {
+    for (const char* name : {"b09", "b10"}) {
+        const Aig g = bg::circuits::make_benchmark_scaled(name, 0.4);
+        Aig copy = g;
+        const auto before = copy.depth();
+        Aig h = balance(g);
+        EXPECT_LE(h.depth(), before) << name;
+        EXPECT_TRUE(likely_equivalent(g, h)) << name;
+    }
+}
+
+TEST(Balance, ConstantAndPassthroughOutputs) {
+    Aig g;
+    const Lit a = g.add_pi();
+    g.add_po(lit_false);
+    g.add_po(lit_not(a));
+    Aig h = balance(g);
+    EXPECT_EQ(h.po(0), lit_false);
+    EXPECT_EQ(h.po(1), lit_not(make_lit(h.pi(0))));
+}
+
+}  // namespace

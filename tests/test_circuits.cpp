@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "aig/cec.hpp"
+#include "circuits/generators.hpp"
+#include "circuits/registry.hpp"
+#include "io/aiger.hpp"
+#include "opt/standalone.hpp"
+
+namespace {
+
+using namespace bg::circuits;  // NOLINT: test brevity
+using bg::aig::Aig;
+
+TEST(Generators, Deterministic) {
+    GeneratorParams p;
+    p.num_pis = 16;
+    p.target_ands = 120;
+    p.seed = 42;
+    const Aig a = generate_circuit(p);
+    const Aig b = generate_circuit(p);
+    EXPECT_EQ(bg::io::write_aiger_string(a), bg::io::write_aiger_string(b));
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+    GeneratorParams p;
+    p.num_pis = 16;
+    p.target_ands = 120;
+    p.seed = 1;
+    const Aig a = generate_circuit(p);
+    p.seed = 2;
+    const Aig b = generate_circuit(p);
+    EXPECT_NE(bg::io::write_aiger_string(a), bg::io::write_aiger_string(b));
+}
+
+TEST(Generators, HitsTargetSizeApproximately) {
+    for (const std::size_t target : {100UL, 300UL, 700UL}) {
+        GeneratorParams p;
+        p.num_pis = 24;
+        p.target_ands = target;
+        p.seed = 7;
+        const Aig g = generate_circuit(p);
+        EXPECT_GE(g.num_ands(), target * 7 / 10)
+            << "target " << target << " got " << g.num_ands();
+        EXPECT_LE(g.num_ands(), target * 13 / 10)
+            << "target " << target << " got " << g.num_ands();
+    }
+}
+
+TEST(Generators, GraphIsCleanAndCompact) {
+    GeneratorParams p;
+    p.num_pis = 20;
+    p.target_ands = 200;
+    p.seed = 3;
+    const Aig g = generate_circuit(p);
+    g.check_integrity();
+    EXPECT_EQ(g.num_slots(), 1 + g.num_pis() + g.num_ands())
+        << "generator must return a compacted graph";
+    EXPECT_GT(g.num_pos(), 0u);
+    EXPECT_LE(g.num_pos(), p.max_pos);
+}
+
+TEST(Generators, ContainsOptimizationOpportunities) {
+    // The point of the stand-ins: each op must find work, and the total
+    // reduction should be a few percent like the paper's designs.
+    GeneratorParams p;
+    p.num_pis = 24;
+    p.target_ands = 300;
+    p.seed = 11;
+    for (const auto family : {Family::Control, Family::Arithmetic}) {
+        p.family = family;
+        const Aig base = generate_circuit(p);
+        for (const auto op :
+             {bg::opt::OpKind::Rewrite, bg::opt::OpKind::Resub,
+              bg::opt::OpKind::Refactor}) {
+            Aig g = base;
+            const auto res = bg::opt::standalone_pass(g, op);
+            EXPECT_GT(res.reduction(), 0)
+                << bg::opt::to_string(op) << " found nothing to do";
+            g.check_integrity();
+        }
+    }
+}
+
+TEST(Generators, OptimizationPreservesFunction) {
+    GeneratorParams p;
+    p.num_pis = 12;  // small enough for exhaustive CEC
+    p.target_ands = 150;
+    p.seed = 19;
+    const Aig base = generate_circuit(p);
+    Aig g = base;
+    (void)bg::opt::standalone_pass(g, bg::opt::OpKind::Rewrite);
+    (void)bg::opt::standalone_pass(g, bg::opt::OpKind::Resub);
+    (void)bg::opt::standalone_pass(g, bg::opt::OpKind::Refactor);
+    EXPECT_EQ(bg::aig::check_equivalence(base, g),
+              bg::aig::CecVerdict::Equivalent);
+}
+
+TEST(Registry, AllPaperDesignsPresent) {
+    const auto names = benchmark_names();
+    const std::vector<std::string> expected{"b07", "b08", "b09", "b10",
+                                            "b11", "b12", "c2670", "c5315"};
+    EXPECT_EQ(names, expected);
+}
+
+TEST(Registry, InfoMatchesPaperSizes) {
+    EXPECT_EQ(benchmark_info("b07").target_ands, 366u);
+    EXPECT_EQ(benchmark_info("b10").target_ands, 180u);
+    EXPECT_EQ(benchmark_info("b12").target_ands, 1002u);
+    EXPECT_EQ(benchmark_info("c2670").family, Family::Arithmetic);
+    EXPECT_THROW((void)benchmark_info("c9999"), std::out_of_range);
+}
+
+TEST(Registry, MakeBenchmarkSizes) {
+    // Spot-check two designs (the full set is exercised by benches).
+    const Aig b10 = make_benchmark("b10");
+    EXPECT_GE(b10.num_ands(), 120u);
+    EXPECT_LE(b10.num_ands(), 260u);
+    const Aig b08 = make_benchmark("b08");
+    EXPECT_GE(b08.num_ands(), 110u);
+    EXPECT_LE(b08.num_ands(), 240u);
+}
+
+TEST(Registry, ScaledBenchmarksShrink) {
+    const Aig full = make_benchmark("b10");
+    const Aig half = make_benchmark_scaled("b10", 0.5);
+    EXPECT_LT(half.num_ands(), full.num_ands());
+    EXPECT_GE(half.num_ands(), 60u);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/registry.hpp"
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "core/sampling.hpp"
+#include "core/trainer.hpp"
+#include "io/dot.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+
+TEST(Dot, RendersAllElements) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(lit_not(a), b);
+    g.add_po(lit_not(x));
+    g.add_po(lit_false);
+    const auto dot = bg::io::write_dot_string(g);
+    EXPECT_NE(dot.find("digraph aig"), std::string::npos);
+    EXPECT_NE(dot.find("shape=box"), std::string::npos);        // PIs
+    EXPECT_NE(dot.find("shape=circle"), std::string::npos);     // AND
+    EXPECT_NE(dot.find("shape=invtriangle"), std::string::npos);  // POs
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // complements
+    EXPECT_NE(dot.find("const0"), std::string::npos);
+    // Two fanin edges + two PO edges.
+    std::size_t arrows = 0;
+    for (std::size_t p = dot.find("->"); p != std::string::npos;
+         p = dot.find("->", p + 1)) {
+        ++arrows;
+    }
+    EXPECT_EQ(arrows, 4u);
+}
+
+TEST(Dot, FileRoundTrip) {
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.3);
+    const auto path = std::filesystem::temp_directory_path() / "bg_test.dot";
+    bg::io::write_dot_file(g, path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_GT(std::filesystem::file_size(path), 100u);
+    std::filesystem::remove(path);
+}
+
+TEST(PaperScale, FullWidthModelTrainsOneEpoch) {
+    // The --full path uses the paper's 512-wide GraphSAGE and 1000-200-1
+    // head; run two epochs on a small design to prove the configuration
+    // is structurally sound (full training is hours, exercised by the
+    // bench harnesses under BOOLGEBRA_FULL=1).
+    const Aig design = bg::circuits::make_benchmark_scaled("b10", 0.3);
+    const auto records = bg::core::generate_guided_samples(design, 12, 1);
+    const auto ds = bg::core::build_dataset(design, records);
+
+    bg::core::BoolGebraModel model(bg::core::ModelConfig::paper());
+    EXPECT_GT(model.num_parameters(), 500000u)
+        << "paper model should have ~0.6M+ parameters";
+    auto tc = bg::core::TrainConfig::paper();
+    tc.epochs = 2;
+    tc.batch_size = 6;
+    tc.eval_every = 1;
+    const auto result = bg::core::train_model(model, ds, tc);
+    ASSERT_EQ(result.history.size(), 2u);
+    EXPECT_DOUBLE_EQ(result.history[0].lr, 8e-7);
+    // Finite losses prove the wide path computes sane numbers.
+    EXPECT_TRUE(std::isfinite(result.final_test_loss));
+    EXPECT_TRUE(std::isfinite(result.final_train_loss));
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "core/flow.hpp"
+#include "core/trainer.hpp"
+#include "opt/standalone.hpp"
+
+namespace {
+
+using namespace bg::core;  // NOLINT: test brevity
+using bg::aig::Aig;
+using bg::aig::Var;
+using bg::opt::OpKind;
+
+ModelConfig tiny_config() {
+    ModelConfig cfg;
+    cfg.sage_dims = {12, 12, 8};
+    cfg.mlp_dims = {16, 8, 1};
+    cfg.dropout = 0.0F;
+    cfg.seed = 21;
+    return cfg;
+}
+
+TEST(Flow, PredictedAppliedUsesStaticApplicability) {
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    const auto st = compute_static_features(g);
+    bg::Rng rng(1);
+    const auto d = random_decisions(g, rng);
+    const auto applied = predicted_applied(g, d, st);
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        if (!g.is_and(v)) {
+            EXPECT_EQ(applied[v], OpKind::None);
+            continue;
+        }
+        const int col = 2 + 2 * bg::opt::op_index(d[v]);
+        if (st[v][static_cast<std::size_t>(col)] > 0.5F) {
+            EXPECT_EQ(applied[v], d[v]);
+        } else {
+            EXPECT_EQ(applied[v], OpKind::None);
+        }
+    }
+}
+
+TEST(Flow, GenerateDecisionsShapes) {
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    const auto st = compute_static_features(g);
+    const auto guided = generate_decisions(g, 12, /*guided=*/true, 5, st);
+    const auto random = generate_decisions(g, 12, /*guided=*/false, 5, st);
+    EXPECT_EQ(guided.size(), 12u);
+    EXPECT_EQ(random.size(), 12u);
+    for (const auto& d : guided) {
+        EXPECT_EQ(d.size(), g.num_slots());
+    }
+    // Guided base (index 0) differs from a purely random vector with
+    // overwhelming probability.
+    EXPECT_NE(guided[0], random[0]);
+}
+
+TEST(Flow, EndToEndProducesValidRatios) {
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.5);
+
+    // Train a small model on the design first.
+    const auto records = generate_guided_samples(g, 30, 2);
+    const auto ds = build_dataset(g, records);
+    BoolGebraModel model(tiny_config());
+    TrainConfig tc = TrainConfig::quick();
+    tc.epochs = 20;
+    tc.batch_size = 8;
+    (void)train_model(model, ds, tc);
+
+    FlowConfig fc;
+    fc.num_samples = 40;
+    fc.top_k = 5;
+    fc.seed = 77;
+    const auto res = run_flow(g, model, fc);
+
+    EXPECT_EQ(res.original_size, g.num_ands());
+    EXPECT_EQ(res.predictions.size(), 40u);
+    EXPECT_EQ(res.selected.size(), 5u);
+    EXPECT_EQ(res.reductions.size(), 5u);
+    EXPECT_GE(res.best_reduction, 0);
+    EXPECT_GT(res.bg_best_ratio, 0.0);
+    EXPECT_LE(res.bg_best_ratio, 1.0);
+    EXPECT_GE(res.bg_mean_ratio, res.bg_best_ratio);
+    // Selected indices must be the k smallest predictions.
+    for (const auto idx : res.selected) {
+        ASSERT_LT(idx, res.predictions.size());
+    }
+    double worst_selected = 0.0;
+    for (const auto idx : res.selected) {
+        worst_selected = std::max(worst_selected, res.predictions[idx]);
+    }
+    std::size_t better_than_worst = 0;
+    for (const double p : res.predictions) {
+        better_than_worst += p < worst_selected ? 1 : 0;
+    }
+    EXPECT_LE(better_than_worst, 5u);
+}
+
+TEST(Flow, BeatsOrMatchesStandaloneOnAverage) {
+    // Table I's qualitative claim, in miniature: BG-Best should match or
+    // beat each stand-alone pass (the flow evaluates several orchestrated
+    // candidates including the priority-guided base).
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.5);
+    const auto records = generate_guided_samples(g, 30, 4);
+    const auto ds = build_dataset(g, records);
+    BoolGebraModel model(tiny_config());
+    TrainConfig tc = TrainConfig::quick();
+    tc.epochs = 25;
+    tc.batch_size = 8;
+    (void)train_model(model, ds, tc);
+
+    FlowConfig fc;
+    fc.num_samples = 60;
+    fc.top_k = 8;
+    fc.seed = 9;
+    const auto res = run_flow(g, model, fc);
+
+    int best_standalone = 0;
+    for (const OpKind op :
+         {OpKind::Rewrite, OpKind::Resub, OpKind::Refactor}) {
+        Aig copy = g;
+        const auto r = bg::opt::standalone_pass(copy, op);
+        best_standalone = std::max(best_standalone, r.reduction());
+    }
+    EXPECT_GE(res.best_reduction, best_standalone)
+        << "BG-Best fell behind the best stand-alone pass";
+}
+
+TEST(Flow, DeterministicGivenSeed) {
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    BoolGebraModel m1(tiny_config());
+    BoolGebraModel m2(tiny_config());
+    FlowConfig fc;
+    fc.num_samples = 20;
+    fc.top_k = 4;
+    fc.seed = 123;
+    const auto r1 = run_flow(g, m1, fc);
+    const auto r2 = run_flow(g, m2, fc);
+    EXPECT_EQ(r1.predictions, r2.predictions);
+    EXPECT_EQ(r1.selected, r2.selected);
+    EXPECT_EQ(r1.reductions, r2.reductions);
+}
+
+}  // namespace

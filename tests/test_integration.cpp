@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "aig/cec.hpp"
+#include "circuits/registry.hpp"
+#include "core/dataset.hpp"
+#include "core/flow.hpp"
+#include "core/trainer.hpp"
+#include "io/aiger.hpp"
+#include "io/bench.hpp"
+#include "opt/balance.hpp"
+#include "opt/standalone.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+using bg::opt::OpKind;
+
+/// A full synthesis script: generate -> rw -> b -> rs -> rf -> b, with
+/// function preservation and monotone size at every step.
+TEST(Integration, SynthesisScriptPreservesFunction) {
+    for (const char* name : {"b09", "b10", "b08"}) {
+        const Aig original = bg::circuits::make_benchmark_scaled(name, 0.4);
+        Aig g = original;
+        std::size_t last = g.num_ands();
+        for (int round = 0; round < 2; ++round) {
+            (void)bg::opt::standalone_pass(g, OpKind::Rewrite);
+            (void)bg::opt::balance_in_place(g);
+            (void)bg::opt::standalone_pass(g, OpKind::Resub);
+            (void)bg::opt::standalone_pass(g, OpKind::Refactor);
+            g.check_integrity();
+            EXPECT_LE(g.num_ands(), last) << name;
+            last = g.num_ands();
+        }
+        EXPECT_TRUE(likely_equivalent(original, g)) << name;
+    }
+}
+
+TEST(Integration, OptimizedDesignSurvivesAllFormats) {
+    const Aig original = bg::circuits::make_benchmark_scaled("b09", 0.5);
+    Aig g = original;
+    (void)bg::opt::standalone_pass(g, OpKind::Rewrite);
+
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto p_aag = dir / "bg_int.aag";
+    const auto p_aig = dir / "bg_int.aig";
+    const auto p_bench = dir / "bg_int.bench";
+    bg::io::write_aiger_file(g, p_aag);
+    bg::io::write_aiger_binary_file(g, p_aig);
+    bg::io::write_bench_file(g, p_bench);
+
+    for (const auto& p : {p_aag, p_aig}) {
+        const Aig back = bg::io::read_aiger_auto_file(p);
+        EXPECT_TRUE(likely_equivalent(g, back)) << p;
+    }
+    const Aig via_bench = bg::io::read_bench_file(p_bench);
+    EXPECT_TRUE(likely_equivalent(g, via_bench));
+    for (const auto& p : {p_aag, p_aig, p_bench}) {
+        std::filesystem::remove(p);
+    }
+}
+
+TEST(Integration, TrainSaveReloadFlow) {
+    // The deployment story: train on one machine, persist, reload, flow.
+    const Aig design = bg::circuits::make_benchmark_scaled("b11", 0.25);
+    const auto records = bg::core::generate_guided_samples(design, 40, 11);
+    const auto ds = bg::core::build_dataset(design, records);
+
+    bg::core::ModelConfig mc;
+    mc.sage_dims = {16, 16, 8};
+    mc.mlp_dims = {24, 8, 1};
+    mc.dropout = 0.0F;
+    bg::core::BoolGebraModel trained(mc);
+    auto tc = bg::core::TrainConfig::quick();
+    tc.epochs = 30;
+    tc.batch_size = 10;
+    (void)bg::core::train_model(trained, ds, tc);
+
+    const auto path =
+        std::filesystem::temp_directory_path() / "bg_int_model.bin";
+    trained.save(path);
+    bg::core::BoolGebraModel reloaded(mc);
+    reloaded.load(path);
+    std::filesystem::remove(path);
+
+    bg::core::FlowConfig fc;
+    fc.num_samples = 30;
+    fc.top_k = 5;
+    fc.seed = 3;
+    const auto r1 = bg::core::run_flow(design, trained, fc);
+    const auto r2 = bg::core::run_flow(design, reloaded, fc);
+    EXPECT_EQ(r1.predictions, r2.predictions)
+        << "persisted weights must reproduce the flow exactly";
+    EXPECT_EQ(r1.reductions, r2.reductions);
+}
+
+TEST(Integration, FlowResultIsRealizable) {
+    // The flow's BG-Best number must be achievable by actually running the
+    // winning decision vector through Algorithm 1.
+    const Aig design = bg::circuits::make_benchmark_scaled("b10", 0.5);
+    const auto st = bg::core::compute_static_features(design);
+    const auto decisions =
+        bg::core::generate_decisions(design, 40, /*guided=*/true, 5, st);
+    int best = 0;
+    for (const auto& d : decisions) {
+        const auto rec = bg::core::evaluate_decisions(design, d);
+        best = std::max(best, rec.reduction);
+        // Every candidate preserves the function.
+        Aig g = design;
+        auto copy = d;
+        (void)bg::opt::orchestrate(g, copy);
+        ASSERT_TRUE(likely_equivalent(design, g));
+    }
+    EXPECT_GT(best, 0);
+}
+
+TEST(Integration, CrossDesignFlowBeatsWorstStandalone) {
+    // Train on b11, deploy on b09 (never seen): BG-Best should at least
+    // beat the weakest stand-alone pass (the paper's margin claim, with a
+    // generous bound suitable for the tiny quick model).
+    const Aig train_design = bg::circuits::make_benchmark_scaled("b11", 0.25);
+    const auto records =
+        bg::core::generate_guided_samples(train_design, 48, 13);
+    const auto ds = bg::core::build_dataset(train_design, records);
+    bg::core::ModelConfig mc;
+    mc.sage_dims = {16, 16, 8};
+    mc.mlp_dims = {24, 8, 1};
+    mc.dropout = 0.0F;
+    bg::core::BoolGebraModel model(mc);
+    auto tc = bg::core::TrainConfig::quick();
+    tc.epochs = 40;
+    tc.batch_size = 12;
+    (void)bg::core::train_model(model, ds, tc);
+
+    const Aig target = bg::circuits::make_benchmark_scaled("b09", 0.5);
+    bg::core::FlowConfig fc;
+    fc.num_samples = 60;
+    fc.top_k = 8;
+    fc.seed = 21;
+    const auto flow = bg::core::run_flow(target, model, fc);
+
+    int worst_standalone = INT32_MAX;
+    for (const OpKind op :
+         {OpKind::Rewrite, OpKind::Resub, OpKind::Refactor}) {
+        Aig g = target;
+        worst_standalone = std::min(
+            worst_standalone, bg::opt::standalone_pass(g, op).reduction());
+    }
+    EXPECT_GE(flow.best_reduction, worst_standalone);
+}
+
+TEST(Integration, DecisionCsvDrivesReproducibleOrchestration) {
+    const Aig design = bg::circuits::make_benchmark_scaled("b08", 0.5);
+    bg::Rng rng(17);
+    const auto d = bg::core::random_decisions(design, rng);
+    const auto path =
+        std::filesystem::temp_directory_path() / "bg_int_decisions.csv";
+    bg::opt::save_decisions_csv(path, d);
+    const auto loaded = bg::opt::load_decisions_csv(path);
+    std::filesystem::remove(path);
+
+    Aig g1 = design;
+    Aig g2 = design;
+    const auto r1 = bg::opt::orchestrate(g1, d);
+    const auto r2 = bg::opt::orchestrate(g2, loaded);
+    EXPECT_EQ(r1.final_size, r2.final_size);
+    EXPECT_EQ(r1.applied, r2.applied);
+    EXPECT_EQ(bg::io::write_aiger_string(g1), bg::io::write_aiger_string(g2));
+}
+
+TEST(Integration, DepthTrackingInOrchestration) {
+    const Aig design = bg::circuits::make_benchmark_scaled("b10", 0.5);
+    Aig g = design;
+    const auto res =
+        bg::opt::orchestrate(g, bg::opt::uniform_decisions(g, OpKind::Rewrite));
+    EXPECT_EQ(res.original_depth, Aig(design).depth());
+    EXPECT_EQ(res.final_depth, g.depth());
+    EXPECT_GT(res.original_depth, 0u);
+}
+
+}  // namespace

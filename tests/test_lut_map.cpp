@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "aig/simulation.hpp"
+#include "circuits/generators.hpp"
+#include "opt/lut_map.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+using bg::opt::LutMapParams;
+using bg::opt::LutMapping;
+using bg::opt::map_to_luts;
+
+/// Evaluate the LUT network bit-by-bit and compare against AIG
+/// simulation — the functional-correctness oracle for the mapper.
+void verify_mapping(const Aig& g, const LutMapping& m) {
+    ASSERT_LE(g.num_pis(), 12u);
+    const auto pats = exhaustive_patterns(g.num_pis());
+    const auto sims = simulate(g, pats);
+
+    // LUT outputs by root var, evaluated in topological order (mapping
+    // roots follow AIG order after sorting by var id — fanins of a cut
+    // always have smaller mapped level, but var order is a safe proxy
+    // only after sorting; evaluate by fixpoint instead).
+    std::unordered_map<Var, std::vector<std::uint64_t>> value;
+    value[0] = std::vector<std::uint64_t>(sims[0].size(), 0);
+    for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        value[g.pi(i)] = pats[i];
+    }
+    std::vector<const bg::opt::Lut*> pending;
+    for (const auto& lut : m.luts) {
+        pending.push_back(&lut);
+    }
+    while (!pending.empty()) {
+        bool progressed = false;
+        std::vector<const bg::opt::Lut*> next;
+        for (const auto* lut : pending) {
+            bool ready = true;
+            for (const Var leaf : lut->leaves) {
+                if (!value.contains(leaf)) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) {
+                next.push_back(lut);
+                continue;
+            }
+            progressed = true;
+            const std::size_t words = pats.empty() ? 1 : pats[0].size();
+            std::vector<std::uint64_t> out(words, 0);
+            for (std::size_t w = 0; w < words; ++w) {
+                for (unsigned bit = 0; bit < 64; ++bit) {
+                    std::uint64_t idx = 0;
+                    for (std::size_t l = 0; l < lut->leaves.size(); ++l) {
+                        const bool lv =
+                            (value.at(lut->leaves[l])[w] >> bit) & 1;
+                        idx |= static_cast<std::uint64_t>(lv) << l;
+                    }
+                    if (lut->function.get_bit(idx)) {
+                        out[w] |= 1ULL << bit;
+                    }
+                }
+            }
+            value[lut->root] = std::move(out);
+        }
+        ASSERT_TRUE(progressed) << "LUT cover contains a dependency cycle";
+        pending = std::move(next);
+    }
+    // Every LUT root must agree with the AIG simulation.
+    for (const auto& lut : m.luts) {
+        ASSERT_EQ(value.at(lut.root), sims[lut.root])
+            << "LUT at var " << lut.root << " mis-evaluates";
+    }
+}
+
+TEST(LutMap, SingleGate) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    g.add_po(g.and_(a, b));
+    const auto m = map_to_luts(g, {.k = 4, .max_cuts = 8});
+    EXPECT_EQ(m.num_luts(), 1u);
+    EXPECT_EQ(m.depth, 1u);
+    verify_mapping(g, m);
+}
+
+TEST(LutMap, WideAndTreeCollapsesIntoFewLuts) {
+    Aig g;
+    const auto pis = g.add_pis(8);
+    g.add_po(g.and_reduce(pis));  // 7 AND gates
+    const auto m6 = map_to_luts(g, {.k = 6, .max_cuts = 10});
+    EXPECT_LE(m6.num_luts(), 3u);
+    EXPECT_LE(m6.depth, 2u);
+    verify_mapping(g, m6);
+
+    const auto m2 = map_to_luts(g, {.k = 2, .max_cuts = 10});
+    EXPECT_EQ(m2.num_luts(), 7u) << "k=2 LUTs are just AND gates";
+    verify_mapping(g, m2);
+}
+
+TEST(LutMap, DepthDecreasesWithLargerK) {
+    const Aig g = bg::test::redundant_aig(10, 60, 4, 5);
+    std::uint32_t last_depth = 0xFFFFFFFF;
+    for (const unsigned k : {2u, 4u, 6u}) {
+        const auto m = map_to_luts(g, {.k = k, .max_cuts = 10});
+        EXPECT_LE(m.depth, last_depth) << "k=" << k;
+        last_depth = m.depth;
+        verify_mapping(g, m);
+    }
+}
+
+TEST(LutMap, CoverIsComplete) {
+    // Every PO must be driven by a mapped root / PI / constant, and every
+    // LUT leaf must itself be covered.
+    const Aig g = bg::test::redundant_aig(9, 50, 4, 9);
+    const auto m = map_to_luts(g, {.k = 5, .max_cuts = 8});
+    std::unordered_map<Var, bool> is_root;
+    for (const auto& lut : m.luts) {
+        is_root[lut.root] = true;
+    }
+    for (const Lit po : g.pos()) {
+        const Var v = lit_var(po);
+        EXPECT_TRUE(!g.is_and(v) || is_root[v]) << "uncovered PO driver";
+    }
+    for (const auto& lut : m.luts) {
+        for (const Var leaf : lut.leaves) {
+            EXPECT_TRUE(!g.is_and(leaf) || is_root[leaf])
+                << "LUT leaf " << leaf << " is not itself mapped";
+        }
+        EXPECT_LE(lut.leaves.size(), 5u);
+    }
+    verify_mapping(g, m);
+}
+
+TEST(LutMap, FewerLutsThanAndGates) {
+    const Aig g = bg::test::redundant_aig(10, 80, 5, 21);
+    const auto m = map_to_luts(g, {.k = 6, .max_cuts = 10});
+    EXPECT_LT(m.num_luts(), g.num_ands());
+}
+
+TEST(LutMap, GeneratedDesignsMapAndVerify) {
+    bg::circuits::GeneratorParams p;
+    p.num_pis = 11;
+    p.target_ands = 120;
+    p.seed = 31;
+    const Aig g = bg::circuits::generate_circuit(p);
+    const auto m = map_to_luts(g, {.k = 6, .max_cuts = 8});
+    EXPECT_GT(m.num_luts(), 0u);
+    EXPECT_GT(m.depth, 0u);
+    verify_mapping(g, m);
+}
+
+TEST(LutMap, ParameterValidation) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    g.add_po(g.and_(a, b));
+    EXPECT_THROW((void)map_to_luts(g, {.k = 1, .max_cuts = 4}),
+                 bg::ContractViolation);
+    EXPECT_THROW((void)map_to_luts(g, {.k = 9, .max_cuts = 4}),
+                 bg::ContractViolation);
+    EXPECT_THROW((void)map_to_luts(g, {.k = 4, .max_cuts = 0}),
+                 bg::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "aig/cec.hpp"
+#include "circuits/registry.hpp"
+#include "core/flow.hpp"
+#include "core/trainer.hpp"
+#include "io/bench.hpp"
+#include "util/progress.hpp"
+
+namespace {
+
+using bg::aig::Aig;
+
+TEST(FullScaleFlag, EnvironmentVariable) {
+    unsetenv("BOOLGEBRA_FULL");
+    EXPECT_FALSE(bg::full_scale_requested());
+    setenv("BOOLGEBRA_FULL", "1", 1);
+    EXPECT_TRUE(bg::full_scale_requested());
+    setenv("BOOLGEBRA_FULL", "0", 1);
+    EXPECT_FALSE(bg::full_scale_requested());
+    unsetenv("BOOLGEBRA_FULL");
+}
+
+TEST(FullScaleFlag, CommandLine) {
+    unsetenv("BOOLGEBRA_FULL");
+    const char* argv1[] = {"bench", "--full"};
+    EXPECT_TRUE(bg::full_scale_requested(2, const_cast<char**>(argv1)));
+    const char* argv2[] = {"bench", "--fast"};
+    EXPECT_FALSE(bg::full_scale_requested(2, const_cast<char**>(argv2)));
+}
+
+TEST(BenchWriter, ConstantOutputsNeedAnInput) {
+    // A constant PO is expressible only via x & !x; with no inputs the
+    // writer must refuse rather than crash.
+    Aig no_inputs;
+    no_inputs.add_po(bg::aig::lit_true);
+    EXPECT_THROW((void)bg::io::write_bench_string(no_inputs),
+                 std::runtime_error);
+
+    Aig with_input;
+    (void)with_input.add_pi();
+    with_input.add_po(bg::aig::lit_false);
+    const auto text = bg::io::write_bench_string(with_input);
+    const Aig back = bg::io::read_bench_string(text);
+    EXPECT_EQ(bg::aig::check_equivalence(with_input, back),
+              bg::aig::CecVerdict::Equivalent);
+}
+
+TEST(FlowFeatureAblation, StaticOnlyFlowStillRuns) {
+    // With dynamic features disabled, predictions become sample-agnostic,
+    // but the flow must stay functional (top-k degenerates to sample
+    // order) — this is the configuration the ablation bench measures.
+    const Aig design = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    bg::core::ModelConfig mc;
+    mc.sage_dims = {12, 12, 8};
+    mc.mlp_dims = {16, 8, 1};
+    mc.dropout = 0.0F;
+    bg::core::BoolGebraModel model(mc);
+    bg::core::FlowConfig fc;
+    fc.num_samples = 16;
+    fc.top_k = 4;
+    fc.features.use_dynamic = false;
+    const auto res = bg::core::run_flow(design, model, fc);
+    EXPECT_EQ(res.predictions.size(), 16u);
+    EXPECT_GE(res.best_reduction, 0);
+}
+
+TEST(ModelConfig, QuickAndPaperDiffer) {
+    const auto quick = bg::core::ModelConfig::quick();
+    const auto paper = bg::core::ModelConfig::paper();
+    EXPECT_LT(quick.sage_dims[0], paper.sage_dims[0]);
+    EXPECT_FLOAT_EQ(paper.dropout, 0.1F);
+    EXPECT_FLOAT_EQ(quick.dropout, 0.0F);
+    const auto tq = bg::core::TrainConfig::quick();
+    const auto tp = bg::core::TrainConfig::paper();
+    EXPECT_LT(tq.epochs, tp.epochs);
+    EXPECT_DOUBLE_EQ(tp.lr, 8e-7);
+    EXPECT_EQ(tp.batch_size, 100u);
+    EXPECT_EQ(tp.epochs, 1500u);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "circuits/registry.hpp"
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "core/sampling.hpp"
+#include "core/trainer.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace bg::core;  // NOLINT: test brevity
+using bg::aig::Aig;
+
+ModelConfig tiny_config() {
+    ModelConfig cfg;
+    cfg.sage_dims = {12, 12, 8};
+    cfg.mlp_dims = {16, 8, 1};
+    cfg.dropout = 0.0F;
+    cfg.seed = 11;
+    return cfg;
+}
+
+Dataset tiny_dataset(std::size_t num_samples = 24, std::uint64_t seed = 3) {
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    const auto records = generate_guided_samples(g, num_samples, seed);
+    return build_dataset(g, records);
+}
+
+TEST(Model, OutputShapeAndRange) {
+    const Dataset ds = tiny_dataset(6);
+    BoolGebraModel model(tiny_config());
+    std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5};
+    const auto preds = model.predict(ds, idx);
+    ASSERT_EQ(preds.size(), 6u);
+    for (const double p : preds) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Model, DeterministicInference) {
+    const Dataset ds = tiny_dataset(4);
+    BoolGebraModel a(tiny_config());
+    BoolGebraModel b(tiny_config());
+    std::vector<std::size_t> idx{0, 1, 2, 3};
+    EXPECT_EQ(a.predict(ds, idx), b.predict(ds, idx))
+        << "same seed must give identical weights and predictions";
+}
+
+TEST(Model, ParameterCountMatchesArchitecture) {
+    BoolGebraModel model(tiny_config());
+    // conv0: 12*12*2+12, conv1: 12*12*2+12, conv2: 12*8*2+8,
+    // l0: 8*16+16, l1: 16*8+8, l2: 8*1+1, bn0: 2*16, bn1: 2*8.
+    const std::size_t expected = (12 * 12 * 2 + 12) + (12 * 12 * 2 + 12) +
+                                 (12 * 8 * 2 + 8) + (8 * 16 + 16) +
+                                 (16 * 8 + 8) + (8 * 1 + 1) + 32 + 16;
+    EXPECT_EQ(model.num_parameters(), expected);
+}
+
+TEST(Model, PaperConfigDimensions) {
+    const auto cfg = ModelConfig::paper();
+    EXPECT_EQ(cfg.sage_dims, (std::vector<int>{512, 512, 64}));
+    EXPECT_EQ(cfg.mlp_dims, (std::vector<int>{1000, 200, 1}));
+    EXPECT_FLOAT_EQ(cfg.dropout, 0.1F);
+    EXPECT_EQ(cfg.in_dim, feature_dim);
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+    const Dataset ds = tiny_dataset(4);
+    BoolGebraModel a(tiny_config());
+    const auto path =
+        std::filesystem::temp_directory_path() / "bg_model_test.bin";
+    a.save(path);
+
+    ModelConfig other = tiny_config();
+    other.seed = 999;  // different init
+    BoolGebraModel b(other);
+    std::vector<std::size_t> idx{0, 1, 2, 3};
+    EXPECT_NE(a.predict(ds, idx), b.predict(ds, idx));
+    b.load(path);
+    EXPECT_EQ(a.predict(ds, idx), b.predict(ds, idx));
+    std::filesystem::remove(path);
+}
+
+TEST(Model, LoadRejectsWrongArchitecture) {
+    BoolGebraModel a(tiny_config());
+    const auto path =
+        std::filesystem::temp_directory_path() / "bg_model_badarch.bin";
+    a.save(path);
+    ModelConfig bigger = tiny_config();
+    bigger.sage_dims = {16, 12, 8};
+    BoolGebraModel b(bigger);
+    EXPECT_THROW(b.load(path), std::runtime_error);
+    std::filesystem::remove(path);
+}
+
+TEST(Trainer, LossDecreasesOnTinyProblem) {
+    const Dataset ds = tiny_dataset(32, 5);
+    BoolGebraModel model(tiny_config());
+    TrainConfig cfg = TrainConfig::quick();
+    cfg.epochs = 30;
+    cfg.batch_size = 8;
+    cfg.lr = 3e-3;
+    cfg.eval_every = 1;
+    const auto result = train_model(model, ds, cfg);
+    ASSERT_GE(result.history.size(), 2u);
+    const double first = result.history.front().train_loss;
+    const double last = result.final_train_loss;
+    EXPECT_LT(last, first) << "training loss must decrease";
+}
+
+TEST(Trainer, HistoryRespectsEvalCadence) {
+    const Dataset ds = tiny_dataset(16, 6);
+    BoolGebraModel model(tiny_config());
+    TrainConfig cfg = TrainConfig::quick();
+    cfg.epochs = 10;
+    cfg.eval_every = 3;
+    const auto result = train_model(model, ds, cfg);
+    // Epochs 0, 3, 6, 9 -> 4 entries (last epoch always recorded).
+    ASSERT_EQ(result.history.size(), 4u);
+    EXPECT_EQ(result.history[1].epoch, 3u);
+    EXPECT_EQ(result.history.back().epoch, 9u);
+}
+
+TEST(Trainer, LearningRateFollowsDecay) {
+    const Dataset ds = tiny_dataset(16, 7);
+    BoolGebraModel model(tiny_config());
+    TrainConfig cfg = TrainConfig::quick();
+    cfg.epochs = 60;
+    cfg.lr = 1e-3;
+    cfg.decay_every = 20;
+    cfg.decay_factor = 0.5;
+    cfg.eval_every = 20;
+    const auto result = train_model(model, ds, cfg);
+    EXPECT_DOUBLE_EQ(result.history[0].lr, 1e-3);
+    EXPECT_DOUBLE_EQ(result.history[1].lr, 5e-4);
+    EXPECT_DOUBLE_EQ(result.history[2].lr, 2.5e-4);
+}
+
+TEST(Trainer, PredictionsCorrelateWithLabelsAfterTraining) {
+    // The Fig 5 property in miniature: after training, predicted scores
+    // should correlate positively with the true labels.
+    const Dataset ds = tiny_dataset(96, 5);
+    ModelConfig mc = tiny_config();
+    mc.sage_dims = {16, 16, 8};
+    mc.mlp_dims = {24, 8, 1};
+    BoolGebraModel model(mc);
+    TrainConfig cfg = TrainConfig::quick();
+    cfg.epochs = 150;
+    cfg.batch_size = 12;
+    cfg.lr = 2e-3;
+    cfg.eval_every = 25;
+    (void)train_model(model, ds, cfg);
+
+    std::vector<std::size_t> all(ds.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = i;
+    }
+    const auto preds = model.predict(ds, all);
+    std::vector<double> labels;
+    for (const auto& s : ds.samples()) {
+        labels.push_back(s.label);
+    }
+    const double rho = bg::spearman(preds, labels);
+    EXPECT_GT(rho, 0.3) << "trained model must rank samples usefully";
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+    const Dataset ds = tiny_dataset(16, 8);
+    BoolGebraModel m1(tiny_config());
+    BoolGebraModel m2(tiny_config());
+    TrainConfig cfg = TrainConfig::quick();
+    cfg.epochs = 8;
+    const auto r1 = train_model(m1, ds, cfg);
+    const auto r2 = train_model(m2, ds, cfg);
+    ASSERT_EQ(r1.history.size(), r2.history.size());
+    for (std::size_t i = 0; i < r1.history.size(); ++i) {
+        EXPECT_DOUBLE_EQ(r1.history[i].train_loss, r2.history[i].train_loss);
+        EXPECT_DOUBLE_EQ(r1.history[i].test_loss, r2.history[i].test_loss);
+    }
+}
+
+}  // namespace

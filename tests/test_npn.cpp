@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "tt/npn.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using bg::tt::NpnTransform;
+using bg::tt::npn_apply;
+using bg::tt::npn_canonize;
+using bg::tt::npn_compose;
+using bg::tt::npn_invert;
+
+TEST(Npn, IdentityTransform) {
+    const NpnTransform id;
+    for (std::uint32_t f = 0; f <= 0xFFFF; f += 257) {
+        EXPECT_EQ(npn_apply(static_cast<std::uint16_t>(f), id), f);
+    }
+}
+
+TEST(Npn, OutputNegation) {
+    NpnTransform t;
+    t.output_neg = true;
+    EXPECT_EQ(npn_apply(0x0000, t), 0xFFFF);
+    EXPECT_EQ(npn_apply(0x8888, t), 0x7777);
+}
+
+TEST(Npn, InputNegationOnProjection) {
+    // f = x0 (tt 0xAAAA). Negating input 0 gives !x0 = 0x5555.
+    NpnTransform t;
+    t.input_neg = 0b0001;
+    EXPECT_EQ(npn_apply(0xAAAA, t), 0x5555);
+}
+
+TEST(Npn, PermutationOnProjection) {
+    // f = x0; applying perm that routes x1 into position 0 yields x1.
+    NpnTransform t;
+    t.perm = {1, 0, 2, 3};
+    // g(x) = f(y) with y0 = x_{perm[0]} = x1 => g = x1 (0xCCCC).
+    EXPECT_EQ(npn_apply(0xAAAA, t), 0xCCCC);
+}
+
+TEST(Npn, ApplyInvertRoundTrip) {
+    bg::Rng rng(31);
+    std::array<std::uint8_t, 4> perm{0, 1, 2, 3};
+    std::vector<std::uint8_t> pv(perm.begin(), perm.end());
+    for (int iter = 0; iter < 500; ++iter) {
+        NpnTransform t;
+        rng.shuffle(pv);
+        std::copy(pv.begin(), pv.end(), t.perm.begin());
+        t.input_neg = static_cast<std::uint8_t>(rng.next_below(16));
+        t.output_neg = rng.next_bool();
+        const auto f = static_cast<std::uint16_t>(rng.next_below(0x10000));
+        const auto g = npn_apply(f, t);
+        EXPECT_EQ(npn_apply(g, npn_invert(t)), f);
+    }
+}
+
+TEST(Npn, ComposeMatchesSequentialApplication) {
+    bg::Rng rng(32);
+    std::vector<std::uint8_t> pv{0, 1, 2, 3};
+    for (int iter = 0; iter < 500; ++iter) {
+        NpnTransform a;
+        NpnTransform b;
+        rng.shuffle(pv);
+        std::copy(pv.begin(), pv.end(), a.perm.begin());
+        a.input_neg = static_cast<std::uint8_t>(rng.next_below(16));
+        a.output_neg = rng.next_bool();
+        rng.shuffle(pv);
+        std::copy(pv.begin(), pv.end(), b.perm.begin());
+        b.input_neg = static_cast<std::uint8_t>(rng.next_below(16));
+        b.output_neg = rng.next_bool();
+        const auto f = static_cast<std::uint16_t>(rng.next_below(0x10000));
+        EXPECT_EQ(npn_apply(f, npn_compose(a, b)),
+                  npn_apply(npn_apply(f, a), b));
+    }
+}
+
+TEST(Npn, CanonizeIsIdempotent) {
+    bg::Rng rng(33);
+    for (int iter = 0; iter < 300; ++iter) {
+        const auto f = static_cast<std::uint16_t>(rng.next_below(0x10000));
+        const auto c = npn_canonize(f);
+        EXPECT_EQ(npn_apply(f, c.to_canon), c.canon);
+        const auto c2 = npn_canonize(c.canon);
+        EXPECT_EQ(c2.canon, c.canon) << "canon form must be a fixed point";
+    }
+}
+
+TEST(Npn, EquivalentFunctionsShareCanon) {
+    bg::Rng rng(34);
+    std::vector<std::uint8_t> pv{0, 1, 2, 3};
+    for (int iter = 0; iter < 200; ++iter) {
+        const auto f = static_cast<std::uint16_t>(rng.next_below(0x10000));
+        NpnTransform t;
+        rng.shuffle(pv);
+        std::copy(pv.begin(), pv.end(), t.perm.begin());
+        t.input_neg = static_cast<std::uint8_t>(rng.next_below(16));
+        t.output_neg = rng.next_bool();
+        const auto g = npn_apply(f, t);
+        EXPECT_EQ(npn_canonize(f).canon, npn_canonize(g).canon)
+            << "NPN-equivalent functions must canonize identically";
+    }
+}
+
+TEST(Npn, ClassCountIs222) {
+    // The count of NPN classes of 4-variable functions is a classic
+    // combinatorial constant.
+    EXPECT_EQ(bg::tt::npn_num_classes(), 222u);
+}
+
+TEST(Npn, CanonOfConstantsAndProjections) {
+    EXPECT_EQ(npn_canonize(0x0000).canon, 0x0000);
+    EXPECT_EQ(npn_canonize(0xFFFF).canon, 0x0000);  // complements collapse
+    const auto cx0 = npn_canonize(0xAAAA).canon;
+    const auto cx3 = npn_canonize(0xFF00).canon;
+    EXPECT_EQ(cx0, cx3) << "all projections are NPN-equivalent";
+}
+
+}  // namespace

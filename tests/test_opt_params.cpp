@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "aig/cec.hpp"
+#include "opt/standalone.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+using bg::opt::OpKind;
+using bg::opt::OptParams;
+
+/// Every parameter setting must preserve functionality; quality may vary.
+class ParamSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned,
+                                                 unsigned, bool>> {};
+
+TEST_P(ParamSweep, AllSettingsPreserveFunction) {
+    const auto [cut_size, rf_leaves, rs_leaves, zero_gain] = GetParam();
+    OptParams p;
+    p.rewrite_cut_size = cut_size;
+    p.refactor_max_leaves = rf_leaves;
+    p.resub_max_leaves = rs_leaves;
+    p.allow_zero_gain = zero_gain;
+
+    const Aig original = bg::test::redundant_aig(8, 40, 4, 77);
+    Aig g = original;
+    for (const OpKind op :
+         {OpKind::Rewrite, OpKind::Resub, OpKind::Refactor}) {
+        (void)bg::opt::standalone_pass(g, op, p);
+        g.check_integrity();
+    }
+    EXPECT_EQ(check_equivalence(original, g), CecVerdict::Equivalent)
+        << "cut=" << cut_size << " rf=" << rf_leaves << " rs=" << rs_leaves
+        << " z=" << zero_gain;
+    EXPECT_LE(g.num_ands(), original.num_ands());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamSweep,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u),      // rewrite cut
+                       ::testing::Values(6u, 10u, 12u),    // refactor leaves
+                       ::testing::Values(4u, 8u),          // resub leaves
+                       ::testing::Bool()));                // zero gain
+
+TEST(OptParams, WindowSizeTradesQualityNotSoundness) {
+    // Window size changes WHAT a greedy pass finds (larger windows can
+    // even lose to smaller ones by consuming structure early — a known
+    // greedy-DAG phenomenon), but never its soundness, and any setting
+    // must still find something on redundant logic.
+    const Aig original = bg::test::redundant_aig(8, 60, 4, 11);
+    for (const unsigned leaves : {4u, 8u, 12u}) {
+        OptParams p;
+        p.refactor_max_leaves = leaves;
+        Aig g = original;
+        const auto res = bg::opt::standalone_pass(g, OpKind::Refactor, p);
+        EXPECT_GT(res.reduction(), 0) << "leaves=" << leaves;
+        EXPECT_EQ(check_equivalence(original, g), CecVerdict::Equivalent)
+            << "leaves=" << leaves;
+    }
+}
+
+TEST(OptParams, ZeroGainFindsAtLeastAsManyApplications) {
+    const Aig original = bg::test::redundant_aig(8, 50, 4, 13);
+    OptParams strict;
+    OptParams relaxed;
+    relaxed.allow_zero_gain = true;
+    Aig g1 = original;
+    Aig g2 = original;
+    const auto r1 = bg::opt::standalone_pass(g1, OpKind::Rewrite, strict);
+    const auto r2 = bg::opt::standalone_pass(g2, OpKind::Rewrite, relaxed);
+    EXPECT_GE(r2.num_applied, r1.num_applied);
+    EXPECT_TRUE(likely_equivalent(original, g2));
+}
+
+TEST(OptParams, RewriteCutSizeAboveFourRejected) {
+    const Aig g = bg::test::redundant_aig(6, 20, 2, 1);
+    OptParams p;
+    p.rewrite_cut_size = 5;
+    const auto ands = g.topo_ands();
+    ASSERT_FALSE(ands.empty());
+    EXPECT_THROW((void)bg::opt::check_rewrite(g, ands.back(), p),
+                 bg::ContractViolation);
+}
+
+TEST(OptParams, ResubDivisorCapRespected) {
+    // With a divisor cap of 1 almost nothing can be found, but the pass
+    // must stay sound.
+    const Aig original = bg::test::redundant_aig(8, 40, 4, 19);
+    OptParams p;
+    p.resub_max_divisors = 1;
+    Aig g = original;
+    (void)bg::opt::standalone_pass(g, OpKind::Resub, p);
+    EXPECT_TRUE(likely_equivalent(original, g));
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "aig/cec.hpp"
+#include "opt/orchestrate.hpp"
+#include "opt/standalone.hpp"
+#include "test_helpers.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+using bg::opt::DecisionVector;
+using bg::opt::OpKind;
+using bg::opt::orchestrate;
+using bg::opt::standalone_pass;
+using bg::opt::uniform_decisions;
+
+TEST(Orchestrate, AllNoneIsIdentity) {
+    auto g = bg::test::redundant_aig(7, 25, 3, 5);
+    const auto before = g.num_ands();
+    const auto res = orchestrate(g, uniform_decisions(g, OpKind::None));
+    EXPECT_EQ(res.num_checked, 0u);
+    EXPECT_EQ(res.num_applied, 0u);
+    EXPECT_EQ(g.num_ands(), before);
+    EXPECT_EQ(res.reduction(), 0);
+}
+
+TEST(Orchestrate, UniformRewriteEqualsStandalone) {
+    auto g1 = bg::test::redundant_aig(7, 30, 3, 8);
+    auto g2 = g1;
+    const auto r1 = orchestrate(g1, uniform_decisions(g1, OpKind::Rewrite));
+    const auto r2 = standalone_pass(g2, OpKind::Rewrite);
+    EXPECT_EQ(r1.final_size, r2.final_size);
+    EXPECT_EQ(r1.num_applied, r2.num_applied);
+}
+
+TEST(Orchestrate, ReportsAppliedOps) {
+    Aig g;
+    const Lit c = g.add_pi();
+    const Lit a = g.add_pi();
+    const Lit t0 = g.and_(c, a);
+    const Lit t1 = g.and_(lit_not(c), a);
+    const Lit f = g.or_(t0, t1);
+    g.add_po(f);
+    DecisionVector d(g.num_slots(), OpKind::None);
+    d[lit_var(f)] = OpKind::Rewrite;
+    const auto res = orchestrate(g, d);
+    EXPECT_EQ(res.num_checked, 1u);
+    EXPECT_EQ(res.num_applied, 1u);
+    EXPECT_EQ(res.applied[lit_var(f)], OpKind::Rewrite);
+    EXPECT_EQ(res.applied[lit_var(t0)], OpKind::None);
+    EXPECT_EQ(res.reduction(), 3);
+}
+
+TEST(Orchestrate, ConsumedNodesAreSkipped) {
+    // When a node's MFFC disappears, later decisions on its interior nodes
+    // must be skipped (the paper: excluded from subsequent iterations).
+    Aig g;
+    const Lit c = g.add_pi();
+    const Lit a = g.add_pi();
+    const Lit t0 = g.and_(c, a);
+    const Lit t1 = g.and_(lit_not(c), a);
+    const Lit f = g.or_(t0, t1);
+    // Extra fanout above f so f is not a root.
+    const Lit top = g.and_(f, g.add_pi());
+    g.add_po(top);
+    DecisionVector d(g.num_slots(), OpKind::Rewrite);
+    const auto res = orchestrate(g, d);
+    // Everything still works and the function is intact.
+    g.check_integrity();
+    EXPECT_LE(g.num_ands(), 2u);
+    EXPECT_GT(res.num_applied, 0u);
+}
+
+TEST(Orchestrate, DecisionVectorTooShortThrows) {
+    auto g = bg::test::random_aig(4, 10, 1, 1);
+    DecisionVector d(3, OpKind::Rewrite);
+    EXPECT_THROW((void)orchestrate(g, d), bg::ContractViolation);
+}
+
+TEST(Orchestrate, MixedDecisionsPreserveFunction) {
+    // The central Algorithm-1 property: ANY decision vector keeps the
+    // network functionally intact.
+    bg::Rng rng(97);
+    for (int round = 0; round < 12; ++round) {
+        auto g = bg::test::redundant_aig(8, 35, 4,
+                                         1000 + static_cast<std::uint64_t>(round));
+        const Aig original = g;
+        DecisionVector d(g.num_slots(), OpKind::None);
+        for (auto& op : d) {
+            op = bg::opt::op_from_index(static_cast<int>(rng.next_below(3)));
+        }
+        const auto res = orchestrate(g, d);
+        g.check_integrity();
+        EXPECT_EQ(check_equivalence(original, g), CecVerdict::Equivalent)
+            << "round " << round;
+        EXPECT_EQ(res.final_size, g.num_ands());
+        EXPECT_LE(res.final_size, res.original_size);
+    }
+}
+
+TEST(Orchestrate, OrchestrationCanBeatStandalone) {
+    // The paper's Fig 1 claim: some mixed assignment beats each
+    // stand-alone pass on at least one of a family of redundant graphs.
+    bg::Rng rng(123);
+    bool orchestration_won = false;
+    for (std::uint64_t seed = 1; seed <= 6 && !orchestration_won; ++seed) {
+        const auto base = bg::test::redundant_aig(8, 40, 4, seed);
+        std::size_t best_standalone = SIZE_MAX;
+        for (const OpKind op :
+             {OpKind::Rewrite, OpKind::Resub, OpKind::Refactor}) {
+            auto g = base;
+            (void)standalone_pass(g, op);
+            best_standalone = std::min(best_standalone, g.num_ands());
+        }
+        for (int trial = 0; trial < 40; ++trial) {
+            auto g = base;
+            DecisionVector d(g.num_slots(), OpKind::None);
+            for (auto& op : d) {
+                op = bg::opt::op_from_index(
+                    static_cast<int>(rng.next_below(3)));
+            }
+            (void)orchestrate(g, d);
+            if (g.num_ands() < best_standalone) {
+                orchestration_won = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(orchestration_won)
+        << "random orchestration never beat stand-alone passes";
+}
+
+TEST(Standalone, ConvergenceMonotone) {
+    auto g = bg::test::redundant_aig(8, 40, 4, 77);
+    const auto before = g.num_ands();
+    const int total = bg::opt::standalone_to_convergence(g, OpKind::Rewrite);
+    EXPECT_EQ(static_cast<int>(before) - static_cast<int>(g.num_ands()),
+              total);
+    // One more pass finds nothing.
+    auto res = standalone_pass(g, OpKind::Rewrite);
+    EXPECT_EQ(res.reduction(), 0);
+}
+
+TEST(DecisionsCsv, RoundTrip) {
+    DecisionVector d{OpKind::Rewrite, OpKind::None, OpKind::Resub,
+                     OpKind::Refactor, OpKind::Rewrite};
+    const auto path =
+        std::filesystem::temp_directory_path() / "bg_decisions_test.csv";
+    bg::opt::save_decisions_csv(path, d);
+    const auto loaded = bg::opt::load_decisions_csv(path);
+    EXPECT_EQ(loaded, d);
+    std::filesystem::remove(path);
+}
+
+TEST(DecisionsCsv, PaperEncodingInFile) {
+    DecisionVector d{OpKind::Rewrite, OpKind::Resub, OpKind::Refactor};
+    const auto path =
+        std::filesystem::temp_directory_path() / "bg_decisions_enc.csv";
+    bg::opt::save_decisions_csv(path, d);
+    const auto table = bg::load_csv(path, true);
+    ASSERT_EQ(table.rows.size(), 3u);
+    EXPECT_EQ(table.rows[0][1], "0");  // rw
+    EXPECT_EQ(table.rows[1][1], "1");  // rs
+    EXPECT_EQ(table.rows[2][1], "2");  // rf
+    std::filesystem::remove(path);
+}
+
+}  // namespace

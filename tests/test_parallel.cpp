@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "circuits/registry.hpp"
+#include "core/sampling.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    for (const std::size_t n : {0UL, 1UL, 7UL, 100UL, 1000UL}) {
+        std::vector<std::atomic<int>> hits(n);
+        bg::parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+        }
+    }
+}
+
+TEST(ParallelFor, WorksWithExplicitWorkerCounts) {
+    const std::size_t n = 64;
+    for (const std::size_t workers : {1UL, 2UL, 3UL, 16UL, 100UL}) {
+        std::vector<int> out(n, 0);
+        bg::parallel_for(
+            n, [&](std::size_t i) { out[i] = static_cast<int>(i * i); },
+            workers);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(out[i], static_cast<int>(i * i));
+        }
+    }
+}
+
+TEST(ParallelFor, DefaultWorkerCountIsPositive) {
+    EXPECT_GE(bg::default_worker_count(), 1u);
+}
+
+TEST(ParallelDeterminism, SamplesIndependentOfWorkerScheduling) {
+    // The sampling pipelines write into per-index slots, so results must
+    // be identical regardless of thread interleaving.  Run the same batch
+    // twice and compare exactly.
+    const auto g = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    const auto a = bg::core::generate_guided_samples(g, 24, 5);
+    const auto b = bg::core::generate_guided_samples(g, 24, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].reduction, b[i].reduction) << i;
+        EXPECT_EQ(a[i].decisions, b[i].decisions) << i;
+        EXPECT_EQ(a[i].applied, b[i].applied) << i;
+    }
+}
+
+TEST(ParallelDeterminism, StaticFeaturesStable) {
+    const auto g = bg::circuits::make_benchmark_scaled("b09", 0.5);
+    const auto f1 = bg::core::compute_static_features(g);
+    const auto f2 = bg::core::compute_static_features(g);
+    ASSERT_EQ(f1.size(), f2.size());
+    for (std::size_t v = 0; v < f1.size(); ++v) {
+        EXPECT_EQ(f1[v], f2[v]) << "var " << v;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "core/sampling.hpp"
+#include "opt/standalone.hpp"
+
+namespace {
+
+using bg::aig::Aig;
+using bg::opt::OpKind;
+
+/// Full-scale registry designs (the sizes the paper reports) — built once
+/// per test; these are the heaviest tests in the suite and act as the
+/// paper-scale smoke check.
+class RegistryFullScale : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryFullScale, SizeMatchesPaperTargetWithinTolerance) {
+    const std::string name = GetParam();
+    const auto& info = bg::circuits::benchmark_info(name);
+    const Aig g = bg::circuits::make_benchmark(name);
+    g.check_integrity();
+    EXPECT_GE(g.num_ands(), info.target_ands * 7 / 10) << name;
+    EXPECT_LE(g.num_ands(), info.target_ands * 13 / 10) << name;
+    EXPECT_EQ(g.num_pis(), info.num_pis) << name;
+}
+
+TEST_P(RegistryFullScale, EveryOpFindsWorkAndStaysSound) {
+    const std::string name = GetParam();
+    const Aig base = bg::circuits::make_benchmark(name);
+    for (const OpKind op :
+         {OpKind::Rewrite, OpKind::Resub, OpKind::Refactor}) {
+        Aig g = base;
+        const auto res = bg::opt::standalone_pass(g, op);
+        g.check_integrity();
+        EXPECT_GT(res.reduction(), 0)
+            << name << ": " << bg::opt::to_string(op) << " found nothing";
+        // Reduction should be a meaningful but not absurd fraction.
+        EXPECT_LT(res.final_size, res.original_size);
+        EXPECT_GT(res.final_size, res.original_size / 4);
+    }
+}
+
+TEST_P(RegistryFullScale, OrchestrationSoundOnFullSize) {
+    const std::string name = GetParam();
+    const Aig base = bg::circuits::make_benchmark(name);
+    bg::Rng rng(0xFED5);
+    auto g = base;
+    const auto d = bg::core::random_decisions(g, rng);
+    const auto res = bg::opt::orchestrate(g, d);
+    g.check_integrity();
+    EXPECT_GT(res.reduction(), 0) << name;
+    EXPECT_EQ(res.final_size, g.num_ands());
+}
+
+// The two designs the paper quotes sizes for, plus the largest one.
+INSTANTIATE_TEST_SUITE_P(PaperDesigns, RegistryFullScale,
+                         ::testing::Values("b07", "b10", "b12", "c5315"));
+
+}  // namespace

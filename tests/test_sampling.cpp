@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "aig/cec.hpp"
+#include "circuits/registry.hpp"
+#include "core/dataset.hpp"
+#include "core/sampling.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace bg::core;  // NOLINT: test brevity
+using bg::aig::Aig;
+using bg::aig::Var;
+using bg::opt::OpKind;
+
+Aig small_design() {
+    return bg::circuits::make_benchmark_scaled("b10", 0.5);
+}
+
+TEST(Sampling, RandomDecisionsCoverAndNodesOnly) {
+    const Aig g = small_design();
+    bg::Rng rng(1);
+    const auto d = random_decisions(g, rng);
+    ASSERT_EQ(d.size(), g.num_slots());
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        if (g.is_and(v)) {
+            EXPECT_NE(d[v], OpKind::None);
+        } else {
+            EXPECT_EQ(d[v], OpKind::None);
+        }
+    }
+}
+
+TEST(Sampling, RandomDecisionsUseAllThreeOps) {
+    const Aig g = small_design();
+    bg::Rng rng(2);
+    const auto d = random_decisions(g, rng);
+    std::size_t counts[3] = {0, 0, 0};
+    for (const auto op : d) {
+        if (op != OpKind::None) {
+            ++counts[bg::opt::op_index(op)];
+        }
+    }
+    EXPECT_GT(counts[0], 0u);
+    EXPECT_GT(counts[1], 0u);
+    EXPECT_GT(counts[2], 0u);
+}
+
+TEST(Sampling, PriorityRespectsApplicability) {
+    const Aig g = small_design();
+    const auto st = compute_static_features(g);
+    bg::Rng rng(3);
+    const auto d = priority_decisions(g, st, rng);
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        if (!g.is_and(v)) {
+            continue;
+        }
+        // If rw is applicable the decision must be rw (highest priority).
+        if (st[v][2] > 0.5F) {
+            EXPECT_EQ(d[v], OpKind::Rewrite) << "node " << v;
+        } else if (st[v][4] > 0.5F) {
+            EXPECT_EQ(d[v], OpKind::Resub) << "node " << v;
+        } else if (st[v][6] > 0.5F) {
+            EXPECT_EQ(d[v], OpKind::Refactor) << "node " << v;
+        }
+    }
+}
+
+TEST(Sampling, MutationChangesRequestedFraction) {
+    const Aig g = small_design();
+    bg::Rng rng(4);
+    const auto base = random_decisions(g, rng);
+    std::size_t and_count = 0;
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        and_count += g.is_and(v) ? 1 : 0;
+    }
+    const auto mutated = mutate_decisions(g, base, 0.5, rng);
+    std::size_t touched = 0;
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        touched += mutated[v] != base[v] ? 1 : 0;
+    }
+    // Re-assignment may pick the same op (1/3 of the time), so expect
+    // roughly 0.5 * 2/3 of the nodes to differ.
+    EXPECT_GT(touched, and_count / 5);
+    EXPECT_LT(touched, and_count * 3 / 5 + 3);
+}
+
+TEST(Sampling, MutationZeroAndOneFractionEdges) {
+    const Aig g = small_design();
+    bg::Rng rng(5);
+    const auto base = random_decisions(g, rng);
+    EXPECT_EQ(mutate_decisions(g, base, 0.0, rng), base);
+    EXPECT_THROW((void)mutate_decisions(g, base, 1.5, rng),
+                 bg::ContractViolation);
+}
+
+TEST(Sampling, EvaluationPreservesDesignAndFunction) {
+    const Aig g = small_design();
+    bg::Rng rng(6);
+    const auto slots = g.num_slots();
+    const auto rec = evaluate_decisions(g, random_decisions(g, rng));
+    EXPECT_EQ(g.num_slots(), slots) << "design must not be mutated";
+    EXPECT_GE(rec.reduction, 0);
+    EXPECT_EQ(rec.final_size, g.num_ands() - static_cast<std::size_t>(rec.reduction));
+}
+
+TEST(Sampling, GuidedBeatsRandomOnAverage) {
+    // Fig 2's claim: the guided distribution is shifted toward better
+    // quality (smaller final size / larger reduction).
+    const Aig g = small_design();
+    const auto random = generate_random_samples(g, 24, 7);
+    const auto guided = generate_guided_samples(g, 24, 7);
+    std::vector<double> rr;
+    std::vector<double> gr;
+    for (const auto& s : random) {
+        rr.push_back(s.reduction);
+    }
+    for (const auto& s : guided) {
+        gr.push_back(s.reduction);
+    }
+    EXPECT_GT(bg::mean(gr), bg::mean(rr))
+        << "guided sampling must improve average reduction";
+}
+
+TEST(Sampling, SamplesAreDeterministicPerSeed) {
+    const Aig g = small_design();
+    const auto a = generate_random_samples(g, 5, 99);
+    const auto b = generate_random_samples(g, 5, 99);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].reduction, b[i].reduction);
+        EXPECT_EQ(a[i].decisions, b[i].decisions);
+    }
+}
+
+TEST(Dataset, LabelsNormalizedToBest) {
+    EXPECT_FLOAT_EQ(normalize_label(3, 3), 0.0F);
+    EXPECT_FLOAT_EQ(normalize_label(1, 3), 2.0F / 3.0F);
+    EXPECT_FLOAT_EQ(normalize_label(0, 3), 1.0F);
+    EXPECT_FLOAT_EQ(normalize_label(0, 0), 0.0F);  // degenerate
+}
+
+TEST(Dataset, BuildAndSplit) {
+    const Aig g = small_design();
+    const auto records = generate_guided_samples(g, 20, 3);
+    const auto ds = build_dataset(g, records);
+    EXPECT_EQ(ds.size(), 20u);
+    EXPECT_EQ(ds.num_nodes(), g.num_slots());
+    int best = 0;
+    for (const auto& r : records) {
+        best = std::max(best, r.reduction);
+    }
+    EXPECT_EQ(ds.best_reduction(), best);
+    // Exactly one sample per record, labels in [0, 1], best label == 0.
+    float min_label = 1.0F;
+    for (const auto& s : ds.samples()) {
+        EXPECT_GE(s.label, 0.0F);
+        EXPECT_LE(s.label, 1.0F);
+        min_label = std::min(min_label, s.label);
+    }
+    EXPECT_FLOAT_EQ(min_label, 0.0F);
+
+    const auto split = ds.split(0.75, 1);
+    EXPECT_EQ(split.train.size(), 15u);
+    EXPECT_EQ(split.test.size(), 5u);
+}
+
+TEST(Dataset, FeatureWidthMatchesModelContract) {
+    const Aig g = small_design();
+    const auto records = generate_guided_samples(g, 3, 4);
+    const auto ds = build_dataset(g, records);
+    for (const auto& s : ds.samples()) {
+        EXPECT_EQ(s.features.size(), ds.num_nodes() * feature_dim);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/cec.hpp"
+#include "aig/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+
+TEST(Simulation, ConstantAndPi) {
+    Aig g;
+    const Lit a = g.add_pi();
+    g.add_po(a);
+    g.add_po(lit_false);
+    const auto pats = exhaustive_patterns(1);
+    const auto sigs = simulate(g, pats);
+    EXPECT_EQ(sigs[0][0], 0ULL);
+    EXPECT_EQ(sigs[lit_var(a)][0], pats[0][0]);
+}
+
+TEST(Simulation, AndGateTruth) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    g.add_po(g.and_(a, b));
+    const auto pos = po_signatures(g, simulate(g, exhaustive_patterns(2)));
+    // Patterns: minterm index m = (b a); AND = 1 only when both bits set.
+    EXPECT_EQ(pos[0][0] & 0xF, 0b1000ULL);
+}
+
+TEST(Simulation, ComplementedEdges) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    g.add_po(g.and_(lit_not(a), b));   // !a & b -> minterm 2
+    g.add_po(lit_not(g.and_(a, b)));   // NAND
+    const auto pos = po_signatures(g, simulate(g, exhaustive_patterns(2)));
+    EXPECT_EQ(pos[0][0] & 0xF, 0b0100ULL);
+    EXPECT_EQ(pos[1][0] & 0xF, 0b0111ULL);
+}
+
+TEST(Simulation, XorMuxMajTruth) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    g.add_po(g.xor_(a, b));
+    g.add_po(g.mux_(a, b, c));  // a ? b : c
+    g.add_po(g.maj_(a, b, c));
+    const auto pos = po_signatures(g, simulate(g, exhaustive_patterns(3)));
+    for (unsigned m = 0; m < 8; ++m) {
+        const bool va = m & 1;
+        const bool vb = (m >> 1) & 1;
+        const bool vc = (m >> 2) & 1;
+        EXPECT_EQ((pos[0][0] >> m) & 1, static_cast<std::uint64_t>(va ^ vb));
+        EXPECT_EQ((pos[1][0] >> m) & 1,
+                  static_cast<std::uint64_t>(va ? vb : vc));
+        EXPECT_EQ((pos[2][0] >> m) & 1,
+                  static_cast<std::uint64_t>((va + vb + vc) >= 2));
+    }
+}
+
+TEST(Simulation, WideExhaustivePatterns) {
+    // 8 PIs -> 4 words; projection rows must match formulas.
+    const auto pats = exhaustive_patterns(8);
+    ASSERT_EQ(pats.size(), 8u);
+    ASSERT_EQ(pats[0].size(), 4u);
+    for (unsigned i = 0; i < 8; ++i) {
+        for (std::uint64_t m = 0; m < 256; ++m) {
+            const bool bit = (pats[i][m >> 6] >> (m & 63)) & 1;
+            EXPECT_EQ(bit, ((m >> i) & 1) != 0);
+        }
+    }
+}
+
+TEST(Simulation, RandomPatternsShape) {
+    bg::Rng rng(1);
+    const auto pats = random_patterns(5, 7, rng);
+    EXPECT_EQ(pats.size(), 5u);
+    for (const auto& row : pats) {
+        EXPECT_EQ(row.size(), 7u);
+    }
+}
+
+TEST(Cec, IdenticalGraphsAreEquivalent) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    g.add_po(g.maj_(a, b, c));
+    const Aig h = g;  // value copy
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::Equivalent);
+}
+
+TEST(Cec, StructurallyDifferentButEquivalent) {
+    // DeMorgan: !(a & b) == !a | !b built two ways.
+    Aig g;
+    {
+        const Lit a = g.add_pi();
+        const Lit b = g.add_pi();
+        g.add_po(lit_not(g.and_(a, b)));
+    }
+    Aig h;
+    {
+        const Lit a = h.add_pi();
+        const Lit b = h.add_pi();
+        h.add_po(h.or_(lit_not(a), lit_not(b)));
+    }
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::Equivalent);
+}
+
+TEST(Cec, DetectsInequivalence) {
+    Aig g;
+    {
+        const Lit a = g.add_pi();
+        const Lit b = g.add_pi();
+        g.add_po(g.and_(a, b));
+    }
+    Aig h;
+    {
+        const Lit a = h.add_pi();
+        const Lit b = h.add_pi();
+        h.add_po(h.or_(a, b));
+    }
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::NotEquivalent);
+    EXPECT_FALSE(likely_equivalent(g, h));
+}
+
+TEST(Cec, InterfaceMismatchThrows) {
+    Aig g;
+    g.add_pi();
+    Aig h;
+    h.add_pis(2);
+    EXPECT_THROW((void)check_equivalence(g, h), bg::ContractViolation);
+}
+
+TEST(Cec, CompactionIsEquivalent) {
+    bg::Rng rng(7);
+    Aig g;
+    const auto pis = g.add_pis(6);
+    std::vector<Lit> pool(pis);
+    for (int k = 0; k < 30; ++k) {
+        const Lit u =
+            lit_not_cond(pool[rng.next_below(pool.size())], rng.next_bool());
+        const Lit v =
+            lit_not_cond(pool[rng.next_below(pool.size())], rng.next_bool());
+        pool.push_back(g.and_(u, v));
+    }
+    g.add_po(pool.back());
+    g.add_po(lit_not(pool[pool.size() - 3]));
+    const Aig h = g.compact();
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::Equivalent);
+}
+
+TEST(Cec, RandomFallbackAboveExhaustiveLimit) {
+    // 16 PIs exceeds the default exhaustive limit of 14.
+    Aig g;
+    const auto pis = g.add_pis(16);
+    g.add_po(g.and_reduce(pis));
+    Aig h = g;
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::ProbablyEquivalent);
+
+    // A single-minterm difference: random sim may or may not find it, but
+    // a full-function inversion is always caught.
+    Aig k;
+    const auto kpis = k.add_pis(16);
+    k.add_po(lit_not(k.and_reduce(kpis)));
+    EXPECT_EQ(check_equivalence(g, k), CecVerdict::NotEquivalent);
+}
+
+TEST(Cec, MultiOutputMismatchOnOneOutput) {
+    Aig g;
+    {
+        const Lit a = g.add_pi();
+        const Lit b = g.add_pi();
+        g.add_po(g.and_(a, b));
+        g.add_po(g.or_(a, b));
+    }
+    Aig h;
+    {
+        const Lit a = h.add_pi();
+        const Lit b = h.add_pi();
+        h.add_po(h.and_(a, b));
+        h.add_po(h.xor_(a, b));  // differs only at minterm 11
+    }
+    EXPECT_EQ(check_equivalence(g, h), CecVerdict::NotEquivalent);
+}
+
+TEST(Cec, VerdictToString) {
+    EXPECT_EQ(to_string(CecVerdict::Equivalent), "equivalent");
+    EXPECT_EQ(to_string(CecVerdict::NotEquivalent), "NOT-equivalent");
+    EXPECT_EQ(to_string(CecVerdict::ProbablyEquivalent),
+              "probably-equivalent");
+}
+
+}  // namespace

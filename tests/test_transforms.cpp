@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "aig/cec.hpp"
+#include "opt/transform.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+using bg::opt::apply_candidate;
+using bg::opt::check_op;
+using bg::opt::check_refactor;
+using bg::opt::check_resub;
+using bg::opt::check_rewrite;
+using bg::opt::CheckResult;
+using bg::opt::OpKind;
+using bg::opt::OptParams;
+
+TEST(OpKind, PaperEncoding) {
+    EXPECT_EQ(bg::opt::op_index(OpKind::Rewrite), 0);
+    EXPECT_EQ(bg::opt::op_index(OpKind::Resub), 1);
+    EXPECT_EQ(bg::opt::op_index(OpKind::Refactor), 2);
+    EXPECT_EQ(bg::opt::op_from_index(0), OpKind::Rewrite);
+    EXPECT_EQ(bg::opt::op_from_index(2), OpKind::Refactor);
+    EXPECT_EQ(bg::opt::to_string(OpKind::Rewrite), "rw");
+    EXPECT_EQ(bg::opt::to_string(OpKind::Resub), "rs");
+    EXPECT_EQ(bg::opt::to_string(OpKind::Refactor), "rf");
+    EXPECT_THROW((void)bg::opt::op_from_index(9), bg::ContractViolation);
+}
+
+TEST(Rewrite, FindsMuxCollapse) {
+    // f = c a + !c a == a : rewrite must find gain 3.
+    Aig g;
+    const Lit c = g.add_pi();
+    const Lit a = g.add_pi();
+    const Lit t0 = g.and_(c, a);
+    const Lit t1 = g.and_(lit_not(c), a);
+    const Lit f = g.or_(t0, t1);
+    g.add_po(f);
+    EXPECT_EQ(g.num_ands(), 3u);
+    const auto res = check_rewrite(g, lit_var(f));
+    ASSERT_TRUE(res.applicable);
+    EXPECT_EQ(res.gain, 3);
+    const int actual = apply_candidate(g, lit_var(f), res.cand);
+    EXPECT_EQ(actual, 3);
+    g.check_integrity();
+    EXPECT_EQ(g.num_ands(), 0u);
+    EXPECT_EQ(g.po(0), a);
+}
+
+TEST(Rewrite, CheckIsReadOnly) {
+    auto g = bg::test::redundant_aig(7, 25, 3, 17);
+    const auto slots = g.num_slots();
+    const auto ands_count = g.num_ands();
+    for (const Var v : g.topo_ands()) {
+        (void)check_rewrite(g, v);
+    }
+    EXPECT_EQ(g.num_slots(), slots);
+    EXPECT_EQ(g.num_ands(), ands_count);
+    g.check_integrity();
+}
+
+TEST(Rewrite, NoFalseApplicability) {
+    // On an irredundant structure (single AND), rewrite must not claim a
+    // positive-gain transform.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit x = g.and_(a, b);
+    g.add_po(x);
+    const auto res = check_rewrite(g, lit_var(x));
+    EXPECT_FALSE(res.applicable);
+}
+
+TEST(Refactor, FactorsDistributedProduct) {
+    // ab + ac: 4 nodes as built; factored a(b+c) needs 2.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit f = g.or_(g.and_(a, b), g.and_(a, c));
+    g.add_po(f);
+    EXPECT_EQ(g.num_ands(), 3u);
+    const auto res = check_refactor(g, lit_var(f));
+    ASSERT_TRUE(res.applicable);
+    EXPECT_GE(res.gain, 1);
+    Aig before = g;
+    apply_candidate(g, lit_var(f), res.cand);
+    g.check_integrity();
+    EXPECT_EQ(check_equivalence(before, g), CecVerdict::Equivalent);
+    EXPECT_LE(g.num_ands(), 2u);
+}
+
+TEST(Resub, FindsEqualCone) {
+    // Build the same function twice with different shapes; rs replaces one
+    // root by the other.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit left = g.and_(g.and_(a, b), c);   // (ab)c
+    const Lit right = g.and_(a, g.and_(b, c));  // a(bc)
+    const Lit keep = g.and_(left, g.add_pi());
+    g.add_po(keep);
+    g.add_po(right);
+    const auto res = check_resub(g, lit_var(right));
+    ASSERT_TRUE(res.applicable);
+    Aig before = g;
+    apply_candidate(g, lit_var(right), res.cand);
+    g.check_integrity();
+    EXPECT_EQ(check_equivalence(before, g), CecVerdict::Equivalent);
+    EXPECT_LT(g.num_ands(), before.num_ands());
+}
+
+TEST(Resub, ZeroResubPrefersWholeMffc) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    // Two re-derivations of a & b & c.
+    const Lit x = g.and_(g.and_(a, b), c);
+    const Lit y = g.and_(g.and_(a, c), b);
+    g.add_po(x);
+    g.add_po(y);
+    const auto res = check_resub(g, lit_var(y));
+    ASSERT_TRUE(res.applicable);
+    EXPECT_EQ(res.gain, 2) << "both nodes of y's cone should be freed";
+}
+
+TEST(AllOps, GainEstimatesAreHonest) {
+    // Property: measured gain from apply_candidate is at least the
+    // estimate (cascaded strash merges can only help).
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (const OpKind op :
+             {OpKind::Rewrite, OpKind::Resub, OpKind::Refactor}) {
+            auto g = bg::test::redundant_aig(7, 30, 3, seed);
+            const auto order = g.topo_ands();
+            for (const Var v : order) {
+                if (g.is_dead(v)) {
+                    continue;
+                }
+                const auto res = check_op(g, v, op);
+                if (!res.applicable) {
+                    continue;
+                }
+                Aig before = g;
+                const int actual = apply_candidate(g, v, res.cand);
+                g.check_integrity();
+                ASSERT_GE(actual, res.gain)
+                    << to_string(op) << " at node " << v << " seed " << seed;
+                ASSERT_EQ(check_equivalence(before, g),
+                          CecVerdict::Equivalent)
+                    << to_string(op) << " broke the function at node " << v;
+            }
+        }
+    }
+}
+
+TEST(AllOps, ChecksAreReadOnlyEverywhere) {
+    auto g = bg::test::redundant_aig(8, 40, 3, 23);
+    const auto text_before = g.to_string();
+    const auto slots = g.num_slots();
+    for (const Var v : g.topo_ands()) {
+        (void)check_op(g, v, OpKind::Rewrite);
+        (void)check_op(g, v, OpKind::Resub);
+        (void)check_op(g, v, OpKind::Refactor);
+    }
+    EXPECT_EQ(g.to_string(), text_before);
+    EXPECT_EQ(g.num_slots(), slots);
+    g.check_integrity();
+}
+
+TEST(AllOps, NoneOpNeverApplies) {
+    auto g = bg::test::redundant_aig(6, 20, 2, 3);
+    for (const Var v : g.topo_ands()) {
+        EXPECT_FALSE(check_op(g, v, OpKind::None).applicable);
+    }
+}
+
+TEST(AllOps, ZeroGainModeAcceptsNeutralMoves) {
+    OptParams relaxed;
+    relaxed.allow_zero_gain = true;
+    auto g = bg::test::redundant_aig(7, 30, 3, 9);
+    std::size_t strict_hits = 0;
+    std::size_t relaxed_hits = 0;
+    for (const Var v : g.topo_ands()) {
+        strict_hits += check_rewrite(g, v).applicable ? 1 : 0;
+        relaxed_hits += check_rewrite(g, v, relaxed).applicable ? 1 : 0;
+    }
+    EXPECT_GE(relaxed_hits, strict_hits);
+}
+
+class TransformSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(TransformSweep, FullPassPreservesFunction) {
+    const auto [seed, op_idx] = GetParam();
+    const OpKind op = bg::opt::op_from_index(op_idx);
+    auto g = bg::test::redundant_aig(8, 35, 4, seed);
+    const Aig original = g;
+    for (const Var v : g.topo_ands()) {
+        if (g.is_dead(v)) {
+            continue;
+        }
+        const auto res = check_op(g, v, op);
+        if (res.applicable) {
+            apply_candidate(g, v, res.cand);
+        }
+    }
+    g.check_integrity();
+    EXPECT_EQ(check_equivalence(original, g), CecVerdict::Equivalent)
+        << "seed " << seed << " op " << to_string(op);
+    EXPECT_LE(g.num_ands(), original.num_ands());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndOps, TransformSweep,
+    ::testing::Combine(::testing::Values(11ULL, 22ULL, 33ULL, 44ULL, 55ULL),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "tt/truth_table.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using bg::tt::TruthTable;
+
+TEST(TruthTable, ConstantsAndWidth) {
+    for (unsigned nv : {0u, 1u, 3u, 6u, 7u, 10u}) {
+        const auto z = TruthTable::zeros(nv);
+        const auto o = TruthTable::ones(nv);
+        EXPECT_TRUE(z.is_const0());
+        EXPECT_FALSE(z.is_const1());
+        EXPECT_TRUE(o.is_const1());
+        EXPECT_EQ(z.num_bits(), 1ULL << nv);
+        EXPECT_EQ(z.count_ones(), 0u);
+        EXPECT_EQ(o.count_ones(), 1ULL << nv);
+    }
+}
+
+TEST(TruthTable, ProjectionBits) {
+    for (unsigned nv : {3u, 6u, 8u}) {
+        for (unsigned i = 0; i < nv; ++i) {
+            const auto x = TruthTable::nth_var(nv, i);
+            for (std::uint64_t m = 0; m < x.num_bits(); ++m) {
+                EXPECT_EQ(x.get_bit(m), ((m >> i) & 1) != 0)
+                    << "nv=" << nv << " var=" << i << " minterm=" << m;
+            }
+        }
+    }
+}
+
+TEST(TruthTable, SmallWidthReplicationInvariant) {
+    // For nv < 6 the word pattern must repeat every 2^nv bits so word ops
+    // stay uniform.
+    auto t = TruthTable::nth_var(2, 0);
+    const auto w = t.words()[0];
+    EXPECT_EQ(w & 0xF, (w >> 4) & 0xF);
+    EXPECT_EQ(w & 0xFFFF, (w >> 16) & 0xFFFF);
+}
+
+TEST(TruthTable, BooleanAlgebraLaws) {
+    bg::Rng rng(123);
+    for (unsigned nv : {2u, 4u, 7u}) {
+        TruthTable a(nv);
+        TruthTable b(nv);
+        for (std::uint64_t m = 0; m < a.num_bits(); ++m) {
+            a.set_bit(m, rng.next_bool());
+            b.set_bit(m, rng.next_bool());
+        }
+        EXPECT_EQ((a & b), (b & a));
+        EXPECT_EQ((a | b), (b | a));
+        EXPECT_EQ(~(a & b), (~a | ~b));  // De Morgan
+        EXPECT_EQ((a ^ b), ((a & ~b) | (~a & b)));
+        EXPECT_EQ((a & ~a), TruthTable::zeros(nv));
+        EXPECT_EQ((a | ~a), TruthTable::ones(nv));
+        EXPECT_EQ(~~a, a);
+    }
+}
+
+TEST(TruthTable, CofactorShannonExpansion) {
+    bg::Rng rng(77);
+    for (unsigned nv : {3u, 5u, 6u, 8u}) {
+        TruthTable f(nv);
+        for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+            f.set_bit(m, rng.next_bool());
+        }
+        for (unsigned i = 0; i < nv; ++i) {
+            const auto f0 = f.cofactor0(i);
+            const auto f1 = f.cofactor1(i);
+            const auto xi = TruthTable::nth_var(nv, i);
+            EXPECT_EQ(((~xi & f0) | (xi & f1)), f)
+                << "Shannon expansion failed at nv=" << nv << " var=" << i;
+            EXPECT_FALSE(f0.depends_on(i));
+            EXPECT_FALSE(f1.depends_on(i));
+        }
+    }
+}
+
+TEST(TruthTable, SupportDetection) {
+    const unsigned nv = 6;
+    const auto x0 = TruthTable::nth_var(nv, 0);
+    const auto x3 = TruthTable::nth_var(nv, 3);
+    const auto f = x0 & ~x3;
+    EXPECT_EQ(f.support_mask(), 0b001001u);
+    EXPECT_EQ(f.support_size(), 2u);
+    EXPECT_TRUE(f.depends_on(0));
+    EXPECT_FALSE(f.depends_on(1));
+    EXPECT_TRUE(f.depends_on(3));
+}
+
+TEST(TruthTable, SwapVarsInvolution) {
+    bg::Rng rng(5);
+    for (unsigned nv : {4u, 7u}) {
+        TruthTable f(nv);
+        for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+            f.set_bit(m, rng.next_bool());
+        }
+        for (unsigned i = 0; i < nv; ++i) {
+            for (unsigned j = 0; j < nv; ++j) {
+                EXPECT_EQ(f.swap_vars(i, j).swap_vars(i, j), f);
+            }
+        }
+    }
+}
+
+TEST(TruthTable, SwapVarsSemantics) {
+    const unsigned nv = 3;
+    const auto x0 = TruthTable::nth_var(nv, 0);
+    const auto x2 = TruthTable::nth_var(nv, 2);
+    const auto f = x0 & ~x2;  // f(x0, x1, x2) = x0 !x2
+    const auto g = f.swap_vars(0, 2);
+    EXPECT_EQ(g, (x2 & ~x0));
+}
+
+TEST(TruthTable, FlipVarSemantics) {
+    bg::Rng rng(6);
+    TruthTable f(5);
+    for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+        f.set_bit(m, rng.next_bool());
+    }
+    for (unsigned i = 0; i < 5; ++i) {
+        const auto g = f.flip_var(i);
+        for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+            EXPECT_EQ(g.get_bit(m), f.get_bit(m ^ (1ULL << i)));
+        }
+        EXPECT_EQ(g.flip_var(i), f);
+    }
+}
+
+TEST(TruthTable, U16RoundTrip) {
+    for (std::uint32_t bits : {0x0000u, 0xFFFFu, 0x8000u, 0x6996u, 0xCAFEu}) {
+        const auto t = TruthTable::from_u16(static_cast<std::uint16_t>(bits));
+        EXPECT_EQ(t.to_u16(), bits);
+    }
+}
+
+TEST(TruthTable, U16LiftToWiderWidth) {
+    // x0 & x1 lifted to 6 vars must not depend on x4/x5.
+    const auto t = TruthTable::from_u16(0x8888, 6);
+    EXPECT_TRUE(t.depends_on(0));
+    EXPECT_FALSE(t.depends_on(2));
+    EXPECT_FALSE(t.depends_on(5));
+}
+
+TEST(TruthTable, HexRoundTrip) {
+    bg::Rng rng(9);
+    for (unsigned nv : {2u, 4u, 6u, 9u}) {
+        TruthTable f(nv);
+        for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+            f.set_bit(m, rng.next_bool());
+        }
+        const auto hex = f.to_hex();
+        EXPECT_EQ(TruthTable::from_hex(nv, hex), f);
+    }
+}
+
+TEST(TruthTable, ImpliesPartialOrder) {
+    const unsigned nv = 4;
+    const auto x0 = TruthTable::nth_var(nv, 0);
+    const auto x1 = TruthTable::nth_var(nv, 1);
+    EXPECT_TRUE((x0 & x1).implies(x0));
+    EXPECT_TRUE(x0.implies(x0 | x1));
+    EXPECT_FALSE(x0.implies(x0 & x1));
+    EXPECT_TRUE(TruthTable::zeros(nv).implies(x0));
+    EXPECT_TRUE(x0.implies(TruthTable::ones(nv)));
+}
+
+TEST(TruthTable, CountOnesSmallWidths) {
+    // Replication must not inflate popcounts for nv < 6.
+    const auto x = TruthTable::nth_var(2, 1);
+    EXPECT_EQ(x.count_ones(), 2u);
+    const auto o = TruthTable::ones(0);
+    EXPECT_EQ(o.count_ones(), 1u);
+}
+
+TEST(TruthTable, HashDistinguishes) {
+    const auto a = TruthTable::nth_var(6, 0);
+    const auto b = TruthTable::nth_var(6, 1);
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_EQ(a.hash(), TruthTable::nth_var(6, 0).hash());
+}
+
+TEST(TruthTable, WidthMismatchThrows) {
+    const auto a = TruthTable::zeros(3);
+    const auto b = TruthTable::zeros(4);
+    EXPECT_THROW((void)(a & b), bg::ContractViolation);
+}
+
+TEST(TruthTable, TooWideThrows) {
+    EXPECT_THROW(TruthTable t(21), bg::ContractViolation);
+}
+
+class TruthTableWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TruthTableWidths, RandomAlgebraSweep) {
+    const unsigned nv = GetParam();
+    bg::Rng rng(1000 + nv);
+    TruthTable a(nv);
+    TruthTable b(nv);
+    TruthTable c(nv);
+    for (std::uint64_t m = 0; m < a.num_bits(); ++m) {
+        a.set_bit(m, rng.next_bool());
+        b.set_bit(m, rng.next_bool());
+        c.set_bit(m, rng.next_bool());
+    }
+    // Distributivity and absorption.
+    EXPECT_EQ((a & (b | c)), ((a & b) | (a & c)));
+    EXPECT_EQ((a | (b & c)), ((a | b) & (a | c)));
+    EXPECT_EQ((a & (a | b)), a);
+    EXPECT_EQ((a | (a & b)), a);
+    // XOR is associative.
+    EXPECT_EQ(((a ^ b) ^ c), (a ^ (b ^ c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, TruthTableWidths,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           10u, 12u));
+
+}  // namespace
