@@ -6,6 +6,12 @@
 ///   stats    <design>                          print size / depth / IO
 ///   opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out.{aag,aig,bench}]
 ///   sample   <design> [-n N] [--guided] [--seed S] [--save-best best.csv]
+///   flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]
+///            [--workers W] [--scale S] [--seed S] [--model weights.bin]
+///            [--random]
+///            batched GNN-guided flow over one or many designs; design
+///            arguments may be registry globs (e.g. 'b1*'); --random
+///            replaces priority-guided sampling with uniform sampling
 ///   apply    <design> --decisions d.csv [-o out]
 ///   cec      <design1> <design2>               equivalence check (sim + SAT)
 ///   map      <design> [-k K]                   K-LUT technology mapping
@@ -19,11 +25,13 @@
 #include <optional>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "aig/cec.hpp"
 #include "circuits/registry.hpp"
+#include "core/flow_engine.hpp"
 #include "core/sampling.hpp"
 #include "io/aiger.hpp"
 #include "io/bench.hpp"
@@ -45,6 +53,9 @@ int usage() {
         "  stats    <design>\n"
         "  opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out]\n"
         "  sample   <design> [-n N] [--guided] [--seed S] [--save-best f]\n"
+        "  flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]\n"
+        "           [--workers W] [--scale S] [--seed S] [--model f]\n"
+        "           [--random]\n"
         "  apply    <design> --decisions d.csv [-o out]\n"
         "  cec      <design1> <design2>\n"
         "  map      <design> [-k K]\n"
@@ -189,6 +200,95 @@ int cmd_sample(Aig g, std::vector<std::string> args) {
     return 0;
 }
 
+int cmd_flow(std::vector<std::string> args) {
+    const auto samples_arg = flag_value(args, "--samples");
+    const auto topk_arg = flag_value(args, "--top-k");
+    const auto rounds_arg = flag_value(args, "--rounds");
+    const auto workers_arg = flag_value(args, "--workers");
+    const auto scale_arg = flag_value(args, "--scale");
+    const auto seed_arg = flag_value(args, "--seed");
+    const auto model_arg = flag_value(args, "--model");
+    const bool all = flag_present(args, "--all");
+    const bool random = flag_present(args, "--random");
+
+    bg::core::EngineConfig cfg;
+    cfg.flow.num_samples =
+        samples_arg
+            ? static_cast<std::size_t>(std::atoll(samples_arg->c_str()))
+            : 100;
+    cfg.flow.top_k =
+        topk_arg ? static_cast<std::size_t>(std::atoll(topk_arg->c_str()))
+                 : 10;
+    cfg.flow.guided = !random;
+    cfg.flow.seed =
+        seed_arg ? static_cast<std::uint64_t>(std::atoll(seed_arg->c_str()))
+                 : 1;
+    cfg.rounds = rounds_arg
+                     ? static_cast<std::size_t>(std::atoll(rounds_arg->c_str()))
+                     : 1;
+    cfg.workers =
+        workers_arg
+            ? static_cast<std::size_t>(std::atoll(workers_arg->c_str()))
+            : 0;
+    const double scale = scale_arg ? std::stod(scale_arg->c_str()) : 1.0;
+
+    // Collect jobs: --all, registry globs, registry names (name[@scale])
+    // and netlist files all mix freely.
+    std::vector<bg::core::DesignJob> jobs;
+    const auto add_registry = [&](std::span<const std::string> names) {
+        for (auto& job : bg::core::jobs_from_registry(names, scale)) {
+            jobs.push_back(std::move(job));
+        }
+    };
+    if (all) {
+        add_registry(bg::circuits::benchmark_names());
+    }
+    for (const auto& spec : args) {
+        const auto expanded = bg::core::expand_registry_pattern(spec);
+        if (!expanded.empty()) {
+            add_registry(expanded);
+        } else {
+            jobs.push_back({spec, load_design(spec)});
+        }
+    }
+    if (jobs.empty()) {
+        std::puts("flow requires at least one design (or --all)");
+        return 2;
+    }
+
+    bg::core::BoolGebraModel model{bg::core::ModelConfig::quick()};
+    if (model_arg) {
+        model.load(*model_arg);
+    } else {
+        std::puts("note: no --model given; ranking with untrained weights");
+    }
+
+    bg::core::FlowEngine engine(cfg);
+    const auto batch = engine.run(jobs, model);
+
+    bg::TablePrinter table({"design", "ands", "BG-Mean", "BG-Best", "final",
+                            "rounds", "sec"});
+    for (const auto& d : batch.designs) {
+        table.add_row({d.name, std::to_string(d.original_size),
+                       bg::TablePrinter::fmt(d.flow.bg_mean_ratio),
+                       bg::TablePrinter::fmt(d.flow.bg_best_ratio),
+                       bg::TablePrinter::fmt(d.iterated.final_ratio),
+                       std::to_string(d.iterated.rounds()),
+                       bg::TablePrinter::fmt(d.seconds, 2)});
+    }
+    table.add_row({"Avg.", "-",
+                   bg::TablePrinter::fmt(batch.avg_bg_mean_ratio),
+                   bg::TablePrinter::fmt(batch.avg_bg_best_ratio),
+                   bg::TablePrinter::fmt(batch.avg_final_ratio), "-", "-"});
+    table.print();
+    std::printf("\n%zu designs, %zu samples in %.2fs on %zu workers "
+                "(%.2f designs/s, %.1f samples/s)\n",
+                batch.designs.size(), batch.total_samples,
+                batch.total_seconds, engine.workers(),
+                batch.designs_per_second, batch.samples_per_second);
+    return 0;
+}
+
 int cmd_apply(Aig g, std::vector<std::string> args) {
     const auto dec_arg = flag_value(args, "--decisions");
     const auto out_arg = flag_value(args, "-o");
@@ -243,6 +343,9 @@ int main(int argc, char** argv) {
             Aig g = load_design(args[0]);
             args.erase(args.begin());
             return cmd_sample(std::move(g), std::move(args));
+        }
+        if (cmd == "flow") {
+            return cmd_flow(std::move(args));
         }
         if (cmd == "apply" && !args.empty()) {
             Aig g = load_design(args[0]);

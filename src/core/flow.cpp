@@ -60,26 +60,53 @@ std::vector<DecisionVector> generate_decisions(const Aig& design,
 
 FlowResult run_flow(const Aig& design, BoolGebraModel& model,
                     const FlowConfig& cfg) {
+    return run_flow(design, model, cfg, FlowContext{});
+}
+
+FlowResult run_flow(const Aig& design, BoolGebraModel& model,
+                    const FlowConfig& cfg, const FlowContext& ctx) {
     BG_EXPECTS(cfg.num_samples > 0 && cfg.top_k > 0,
                "flow needs samples and a positive top-k");
     FlowResult res;
     res.original_size = design.num_ands();
 
-    // Step 1: sample decision vectors.
-    const StaticFeatures st = compute_static_features(design, cfg.opt);
+    const auto pfor = [&ctx](std::size_t n, auto&& f) {
+        if (ctx.pool != nullptr) {
+            ctx.pool->for_each(n, f);
+        } else {
+            bg::parallel_for(n, f);
+        }
+    };
+
+    // Step 1: sample decision vectors (static features cached per design
+    // round by callers that run many flows, e.g. the FlowEngine).
+    StaticFeatures st_local;
+    if (ctx.static_features == nullptr) {
+        st_local = compute_static_features(design, cfg.opt);
+    }
+    const StaticFeatures& st =
+        ctx.static_features != nullptr ? *ctx.static_features : st_local;
     const auto decisions = generate_decisions(design, cfg.num_samples,
                                               cfg.guided, cfg.seed, st);
 
     // Step 2: prune with the predictor (cheap estimated dynamic features).
-    const GraphCsr csr = build_csr(design);
-    std::vector<std::vector<float>> feature_rows(decisions.size());
-    bg::parallel_for(decisions.size(), [&](std::size_t i) {
+    // Candidate features are assembled directly into the stacked batch
+    // matrix so inference sees one contiguous block.
+    GraphCsr csr_local;
+    if (ctx.csr == nullptr) {
+        csr_local = build_csr(design);
+    }
+    const GraphCsr& csr = ctx.csr != nullptr ? *ctx.csr : csr_local;
+    const std::size_t num_nodes = design.num_slots();
+    nn::Matrix stacked(decisions.size() * num_nodes,
+                       static_cast<std::size_t>(feature_dim));
+    pfor(decisions.size(), [&](std::size_t i) {
         const auto applied = predicted_applied(design, decisions[i], st);
         const auto dy = compute_dynamic_features(design, applied);
-        feature_rows[i] = assemble_features(st, dy, cfg.features);
+        const auto row = assemble_features(st, dy, cfg.features);
+        std::copy(row.begin(), row.end(), stacked.row(i * num_nodes));
     });
-    res.predictions = model.predict_features(csr, design.num_slots(),
-                                             feature_rows);
+    res.predictions = model.predict_batch(csr, num_nodes, stacked);
 
     // Step 3: evaluate the top-k exactly (smaller score = better).
     std::vector<std::size_t> order(decisions.size());
@@ -93,7 +120,7 @@ FlowResult run_flow(const Aig& design, BoolGebraModel& model,
                         order.begin() + static_cast<std::ptrdiff_t>(k));
 
     std::vector<SampleRecord> evaluated(k);
-    bg::parallel_for(k, [&](std::size_t i) {
+    pfor(k, [&](std::size_t i) {
         evaluated[i] =
             evaluate_decisions(design, decisions[res.selected[i]], cfg.opt);
     });
@@ -122,15 +149,18 @@ FlowResult run_flow(const Aig& design, BoolGebraModel& model,
 
 IteratedFlowResult run_iterated_flow(const Aig& design, BoolGebraModel& model,
                                      const FlowConfig& cfg,
-                                     std::size_t max_rounds) {
+                                     std::size_t max_rounds,
+                                     ThreadPool* pool) {
     BG_EXPECTS(max_rounds >= 1, "need at least one round");
     IteratedFlowResult out;
     out.original_size = design.num_ands();
     Aig current = design;
     FlowConfig round_cfg = cfg;
+    FlowContext ctx;
+    ctx.pool = pool;
     for (std::size_t round = 0; round < max_rounds; ++round) {
         round_cfg.seed = cfg.seed + round;  // fresh samples per round
-        const auto flow = run_flow(current, model, round_cfg);
+        const auto flow = run_flow(current, model, round_cfg, ctx);
         if (flow.best_reduction <= 0 || flow.best_decisions.empty()) {
             break;
         }

@@ -14,6 +14,7 @@
 #include "core/dataset.hpp"
 #include "core/model.hpp"
 #include "core/sampling.hpp"
+#include "util/parallel.hpp"
 
 namespace bg::core {
 
@@ -68,15 +69,31 @@ std::vector<opt::DecisionVector> generate_decisions(
     const aig::Aig& design, std::size_t n, bool guided, std::uint64_t seed,
     const StaticFeatures& st);
 
+/// Shared per-design state a caller may supply to avoid recomputation, and
+/// an optional persistent worker pool for the inner sample loops.  All
+/// members are optional; run_flow computes whatever is missing.  Cached
+/// values must belong to the *same* graph and OptParams as the call (the
+/// FlowEngine guarantees this by caching per design round).
+struct FlowContext {
+    const StaticFeatures* static_features = nullptr;
+    const GraphCsr* csr = nullptr;
+    ThreadPool* pool = nullptr;  ///< inner loops run here when set
+};
+
 /// Run the full sample -> prune -> evaluate flow on one design.
 FlowResult run_flow(const aig::Aig& design, BoolGebraModel& model,
                     const FlowConfig& cfg = {});
+FlowResult run_flow(const aig::Aig& design, BoolGebraModel& model,
+                    const FlowConfig& cfg, const FlowContext& ctx);
 
 /// Run up to `max_rounds` flows, committing each round's best candidate;
-/// stops early when a round finds no reduction.
+/// stops early when a round finds no reduction.  The optional pool is used
+/// for every round's inner loops (cached features are per-round state the
+/// iteration manages itself).
 IteratedFlowResult run_iterated_flow(const aig::Aig& design,
                                      BoolGebraModel& model,
                                      const FlowConfig& cfg = {},
-                                     std::size_t max_rounds = 3);
+                                     std::size_t max_rounds = 3,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace bg::core

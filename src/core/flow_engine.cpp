@@ -1,0 +1,158 @@
+#include "core/flow_engine.hpp"
+
+#include <algorithm>
+
+#include "circuits/registry.hpp"
+#include "util/contracts.hpp"
+#include "util/progress.hpp"
+
+namespace bg::core {
+
+using aig::Aig;
+
+FlowEngine::FlowEngine(EngineConfig cfg)
+    : cfg_(cfg), pool_(cfg.workers) {
+    BG_EXPECTS(cfg_.rounds >= 1, "engine needs at least one flow round");
+}
+
+DesignFlowResult FlowEngine::run_one(const DesignJob& job,
+                                     const BoolGebraModel& model) {
+    DesignFlowResult res;
+    res.name = job.name;
+    res.original_size = job.design.num_ands();
+    res.iterated.original_size = res.original_size;
+
+    const bg::Stopwatch watch;
+    BoolGebraModel local(model);  // private copy: forward caches mutate
+    Aig current = job.design;
+    FlowConfig round_cfg = cfg_.flow;
+    for (std::size_t round = 0; round < cfg_.rounds; ++round) {
+        round_cfg.seed = cfg_.flow.seed + round;  // fresh samples per round
+        // Per-round caches shared by every flow step of this design.
+        const StaticFeatures st =
+            compute_static_features(current, round_cfg.opt);
+        const GraphCsr csr = build_csr(current);
+        FlowContext ctx;
+        ctx.static_features = &st;
+        ctx.csr = &csr;
+        ctx.pool = &pool_;
+        const FlowResult flow = run_flow(current, local, round_cfg, ctx);
+        res.samples_run += round_cfg.num_samples;
+        const bool productive =
+            flow.best_reduction > 0 && !flow.best_decisions.empty();
+        if (round == 0) {
+            res.flow = flow;
+        }
+        if (!productive) {
+            break;
+        }
+        res.iterated.per_round_reduction.push_back(flow.best_reduction);
+        if (cfg_.rounds == 1) {
+            break;  // single-shot: nothing is committed
+        }
+        auto decisions = flow.best_decisions;
+        (void)opt::orchestrate(current, decisions, round_cfg.opt);
+        current = current.compact();
+    }
+    if (cfg_.rounds == 1) {
+        // Final size is the best evaluated candidate's (uncommitted).
+        res.iterated.final_size =
+            res.original_size -
+            static_cast<std::size_t>(std::max(res.flow.best_reduction, 0));
+        res.iterated.final_ratio = res.flow.bg_best_ratio;
+    } else {
+        res.iterated.final_size = current.num_ands();
+        res.iterated.final_ratio =
+            static_cast<double>(res.iterated.final_size) /
+            static_cast<double>(res.iterated.original_size);
+    }
+    res.seconds = watch.seconds();
+    return res;
+}
+
+BatchFlowResult FlowEngine::run(std::span<const DesignJob> jobs,
+                                const BoolGebraModel& model) {
+    BatchFlowResult out;
+    out.designs.resize(jobs.size());
+    const bg::Stopwatch watch;
+    pool_.for_each(jobs.size(), [&](std::size_t j) {
+        out.designs[j] = run_one(jobs[j], model);
+    });
+    out.total_seconds = watch.seconds();
+
+    if (!out.designs.empty()) {
+        double best = 0.0;
+        double mean = 0.0;
+        double final_r = 0.0;
+        for (const auto& d : out.designs) {
+            best += d.flow.bg_best_ratio;
+            mean += d.flow.bg_mean_ratio;
+            final_r += d.iterated.final_ratio;
+            out.total_samples += d.samples_run;
+        }
+        const auto n = static_cast<double>(out.designs.size());
+        out.avg_bg_best_ratio = best / n;
+        out.avg_bg_mean_ratio = mean / n;
+        out.avg_final_ratio = final_r / n;
+    }
+    if (out.total_seconds > 0.0) {
+        out.designs_per_second =
+            static_cast<double>(out.designs.size()) / out.total_seconds;
+        out.samples_per_second =
+            static_cast<double>(out.total_samples) / out.total_seconds;
+    }
+    return out;
+}
+
+std::vector<DesignJob> jobs_from_registry(std::span<const std::string> names,
+                                          double scale) {
+    std::vector<DesignJob> jobs;
+    jobs.reserve(names.size());
+    for (const auto& name : names) {
+        jobs.push_back(
+            {name, scale == 1.0
+                       ? circuits::make_benchmark(name)
+                       : circuits::make_benchmark_scaled(name, scale)});
+    }
+    return jobs;
+}
+
+namespace {
+
+bool glob_match(const char* pat, const char* str) {
+    // Iterative '*'/'?' matcher with single-star backtracking.
+    const char* star = nullptr;
+    const char* resume = nullptr;
+    while (*str != '\0') {
+        if (*pat == *str || *pat == '?') {
+            ++pat;
+            ++str;
+        } else if (*pat == '*') {
+            star = pat++;
+            resume = str;
+        } else if (star != nullptr) {
+            pat = star + 1;
+            str = ++resume;
+        } else {
+            return false;
+        }
+    }
+    while (*pat == '*') {
+        ++pat;
+    }
+    return *pat == '\0';
+}
+
+}  // namespace
+
+std::vector<std::string> expand_registry_pattern(const std::string& pattern) {
+    std::vector<std::string> out;
+    for (const auto& info : circuits::benchmark_registry()) {
+        if (glob_match(pattern.c_str(), info.name.c_str())) {
+            out.push_back(info.name);
+        }
+    }
+    return out;
+}
+
+}  // namespace bg::core

@@ -170,21 +170,53 @@ std::vector<double> BoolGebraModel::predict_features(
     const nn::Csr& csr, std::size_t num_nodes,
     std::span<const std::vector<float>> feature_rows,
     std::size_t batch_size) {
+    // Stack one batch_size chunk at a time so peak temporary memory stays
+    // bounded by batch_size samples, as before.
     std::vector<double> out;
     out.reserve(feature_rows.size());
     for (std::size_t start = 0; start < feature_rows.size();
          start += batch_size) {
         const std::size_t b =
             std::min(batch_size, feature_rows.size() - start);
-        Matrix x(b * num_nodes, static_cast<std::size_t>(cfg_.in_dim));
+        Matrix stacked(b * num_nodes, static_cast<std::size_t>(cfg_.in_dim));
         for (std::size_t s = 0; s < b; ++s) {
             const auto& feats = feature_rows[start + s];
             BG_ASSERT(feats.size() ==
                           num_nodes * static_cast<std::size_t>(cfg_.in_dim),
                       "feature width mismatch");
-            std::copy(feats.begin(), feats.end(), x.row(s * num_nodes));
+            std::copy(feats.begin(), feats.end(),
+                      stacked.row(s * num_nodes));
         }
-        const Matrix pred = forward(x, csr, b, /*train=*/false);
+        for (const double p :
+             predict_batch(csr, num_nodes, stacked, batch_size)) {
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+std::vector<double> BoolGebraModel::predict_batch(const nn::Csr& csr,
+                                                  std::size_t num_nodes,
+                                                  const nn::Matrix& stacked,
+                                                  std::size_t batch_size) {
+    BG_EXPECTS(num_nodes > 0 && stacked.rows() % num_nodes == 0,
+               "stacked feature rows must be a whole number of samples");
+    BG_EXPECTS(stacked.cols() == static_cast<std::size_t>(cfg_.in_dim),
+               "stacked feature width mismatch");
+    const std::size_t total = stacked.rows() / num_nodes;
+    std::vector<double> out;
+    out.reserve(total);
+    for (std::size_t start = 0; start < total; start += batch_size) {
+        const std::size_t b = std::min(batch_size, total - start);
+        Matrix pred;
+        if (b == total) {
+            pred = forward(stacked, csr, b, /*train=*/false);
+        } else {
+            Matrix chunk(b * num_nodes, stacked.cols());
+            const float* src = stacked.row(start * num_nodes);
+            std::copy(src, src + chunk.size(), chunk.row(0));
+            pred = forward(chunk, csr, b, /*train=*/false);
+        }
         for (std::size_t s = 0; s < b; ++s) {
             out.push_back(pred.at(s, 0));
         }

@@ -88,6 +88,17 @@ public:
         std::span<const std::vector<float>> feature_rows,
         std::size_t batch_size = 64);
 
+    /// Batched inference over a pre-stacked feature matrix: `stacked` is
+    /// (B * num_nodes, in_dim) row-major with each sample's node block
+    /// contiguous.  Avoids the per-sample copy of predict_features when the
+    /// caller (e.g. the FlowEngine) assembles features in place.  Chunks of
+    /// `batch_size` samples go through forward() at a time; results are
+    /// identical to per-sample inference.
+    std::vector<double> predict_batch(const nn::Csr& csr,
+                                      std::size_t num_nodes,
+                                      const nn::Matrix& stacked,
+                                      std::size_t batch_size = 64);
+
     /// Binary weight persistence (architecture must match on load).
     void save(const std::filesystem::path& path);
     void load(const std::filesystem::path& path);

@@ -7,4 +7,52 @@ std::size_t default_worker_count() {
     return hw == 0 ? 1 : hw;
 }
 
+ThreadPool::ThreadPool(std::size_t workers) {
+    if (workers == 0) {
+        workers = default_worker_count();
+    }
+    threads_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) {
+        t.join();
+    }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+    std::packaged_task<void()> task(std::move(job));
+    auto fut = task.get_future();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void ThreadPool::worker_loop() {
+    while (true) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping and drained
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
 }  // namespace bg

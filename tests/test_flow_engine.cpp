@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "core/flow_engine.hpp"
+
+namespace {
+
+using namespace bg::core;  // NOLINT: test brevity
+
+ModelConfig tiny_config() {
+    ModelConfig cfg;
+    cfg.sage_dims = {12, 12, 8};
+    cfg.mlp_dims = {16, 8, 1};
+    cfg.dropout = 0.0F;
+    cfg.seed = 21;
+    return cfg;
+}
+
+FlowConfig tiny_flow() {
+    FlowConfig fc;
+    fc.num_samples = 24;
+    fc.top_k = 4;
+    fc.seed = 11;
+    return fc;
+}
+
+std::vector<DesignJob> tiny_jobs() {
+    std::vector<DesignJob> jobs;
+    for (const char* name : {"b07", "b09", "b10"}) {
+        jobs.push_back({name, bg::circuits::make_benchmark_scaled(name, 0.3)});
+    }
+    return jobs;
+}
+
+void expect_same_flow(const FlowResult& got, const FlowResult& want) {
+    EXPECT_EQ(got.original_size, want.original_size);
+    EXPECT_EQ(got.predictions, want.predictions);
+    EXPECT_EQ(got.selected, want.selected);
+    EXPECT_EQ(got.reductions, want.reductions);
+    EXPECT_EQ(got.best_reduction, want.best_reduction);
+    EXPECT_EQ(got.bg_best_ratio, want.bg_best_ratio);
+    EXPECT_EQ(got.bg_mean_ratio, want.bg_mean_ratio);
+    EXPECT_EQ(got.best_decisions, want.best_decisions);
+}
+
+TEST(FlowEngine, BatchedMatchesSequentialAtEveryWorkerCount) {
+    const auto jobs = tiny_jobs();
+    const BoolGebraModel model{tiny_config()};
+
+    // Sequential reference, one plain run_flow per design.
+    std::vector<FlowResult> reference;
+    for (const auto& job : jobs) {
+        BoolGebraModel m(model);
+        reference.push_back(run_flow(job.design, m, tiny_flow()));
+    }
+
+    for (const std::size_t workers : {1UL, 2UL, 8UL}) {
+        EngineConfig cfg;
+        cfg.workers = workers;
+        cfg.flow = tiny_flow();
+        FlowEngine engine(cfg);
+        const auto batch = engine.run(jobs, model);
+        ASSERT_EQ(batch.designs.size(), jobs.size()) << workers;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            SCOPED_TRACE("workers=" + std::to_string(workers) + " design=" +
+                         jobs[i].name);
+            EXPECT_EQ(batch.designs[i].name, jobs[i].name);
+            expect_same_flow(batch.designs[i].flow, reference[i]);
+        }
+    }
+}
+
+TEST(FlowEngine, RepeatedRunsAreIdentical) {
+    const auto jobs = tiny_jobs();
+    const BoolGebraModel model{tiny_config()};
+    EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.flow = tiny_flow();
+    FlowEngine engine(cfg);
+    const auto a = engine.run(jobs, model);
+    const auto b = engine.run(jobs, model);  // pool reuse across batches
+    ASSERT_EQ(a.designs.size(), b.designs.size());
+    for (std::size_t i = 0; i < a.designs.size(); ++i) {
+        SCOPED_TRACE(a.designs[i].name);
+        expect_same_flow(a.designs[i].flow, b.designs[i].flow);
+        EXPECT_EQ(a.designs[i].iterated.final_size,
+                  b.designs[i].iterated.final_size);
+    }
+}
+
+TEST(FlowEngine, IteratedRoundsMatchRunIteratedFlow) {
+    const auto jobs = tiny_jobs();
+    const BoolGebraModel model{tiny_config()};
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.rounds = 3;
+    cfg.flow = tiny_flow();
+    FlowEngine engine(cfg);
+    const auto batch = engine.run(jobs, model);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        BoolGebraModel m(model);
+        const auto want =
+            run_iterated_flow(jobs[i].design, m, cfg.flow, cfg.rounds);
+        const auto& got = batch.designs[i].iterated;
+        EXPECT_EQ(got.original_size, want.original_size);
+        EXPECT_EQ(got.final_size, want.final_size);
+        EXPECT_EQ(got.per_round_reduction, want.per_round_reduction);
+        EXPECT_EQ(got.final_ratio, want.final_ratio);
+    }
+}
+
+TEST(FlowEngine, SingleShotFinalRatioIsBgBest) {
+    const auto jobs = tiny_jobs();
+    const BoolGebraModel model{tiny_config()};
+    EngineConfig cfg;
+    cfg.flow = tiny_flow();
+    FlowEngine engine(cfg);
+    const auto batch = engine.run(jobs, model);
+    for (const auto& d : batch.designs) {
+        SCOPED_TRACE(d.name);
+        EXPECT_EQ(d.iterated.final_ratio, d.flow.bg_best_ratio);
+        EXPECT_EQ(d.samples_run, cfg.flow.num_samples);
+    }
+}
+
+TEST(FlowEngine, AggregatesAreMeansOfPerDesignRatios) {
+    const auto jobs = tiny_jobs();
+    const BoolGebraModel model{tiny_config()};
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.flow = tiny_flow();
+    FlowEngine engine(cfg);
+    const auto batch = engine.run(jobs, model);
+
+    double best = 0.0;
+    double mean = 0.0;
+    std::size_t samples = 0;
+    for (const auto& d : batch.designs) {
+        best += d.flow.bg_best_ratio;
+        mean += d.flow.bg_mean_ratio;
+        samples += d.samples_run;
+    }
+    const auto n = static_cast<double>(batch.designs.size());
+    EXPECT_DOUBLE_EQ(batch.avg_bg_best_ratio, best / n);
+    EXPECT_DOUBLE_EQ(batch.avg_bg_mean_ratio, mean / n);
+    EXPECT_EQ(batch.total_samples, samples);
+    EXPECT_GT(batch.total_seconds, 0.0);
+    EXPECT_GT(batch.designs_per_second, 0.0);
+    EXPECT_GT(batch.samples_per_second, 0.0);
+}
+
+TEST(FlowEngine, EmptyBatchYieldsNeutralAggregates) {
+    const BoolGebraModel model{tiny_config()};
+    FlowEngine engine;
+    const auto batch = engine.run({}, model);
+    EXPECT_TRUE(batch.designs.empty());
+    EXPECT_EQ(batch.avg_bg_best_ratio, 1.0);
+    EXPECT_EQ(batch.avg_bg_mean_ratio, 1.0);
+    EXPECT_EQ(batch.total_samples, 0u);
+}
+
+TEST(FlowEngineHelpers, JobsFromRegistryBuildsScaledDesigns) {
+    const std::vector<std::string> names = {"b07", "b10"};
+    const auto full = jobs_from_registry(names);
+    const auto scaled = jobs_from_registry(names, 0.3);
+    ASSERT_EQ(full.size(), 2u);
+    ASSERT_EQ(scaled.size(), 2u);
+    EXPECT_EQ(full[0].name, "b07");
+    EXPECT_GT(full[0].design.num_ands(), scaled[0].design.num_ands());
+    const std::vector<std::string> unknown = {"no_such_design"};
+    EXPECT_THROW((void)jobs_from_registry(unknown), std::out_of_range);
+}
+
+TEST(FlowEngineHelpers, RegistryPatternExpansion) {
+    const auto all_names = bg::circuits::benchmark_names();
+    EXPECT_EQ(expand_registry_pattern("*"), all_names);
+
+    const auto b1x = expand_registry_pattern("b1?");
+    for (const auto& name : b1x) {
+        EXPECT_EQ(name.size(), 3u);
+        EXPECT_EQ(name.substr(0, 2), "b1");
+    }
+    EXPECT_FALSE(b1x.empty());
+
+    const auto literal = expand_registry_pattern("b07");
+    ASSERT_EQ(literal.size(), 1u);
+    EXPECT_EQ(literal[0], "b07");
+
+    EXPECT_TRUE(expand_registry_pattern("zzz*").empty());
+}
+
+}  // namespace
