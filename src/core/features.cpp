@@ -1,5 +1,7 @@
 #include "core/features.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
 
@@ -64,12 +66,14 @@ DynamicFeatures compute_dynamic_features(const Aig& g,
     return rows;
 }
 
-std::vector<float> assemble_features(const StaticFeatures& st,
-                                     const DynamicFeatures& dy,
-                                     const FeatureConfig& cfg) {
+void assemble_features_into(const StaticFeatures& st,
+                            const DynamicFeatures& dy,
+                            const FeatureConfig& cfg, std::span<float> out) {
     BG_EXPECTS(st.size() == dy.size(),
                "static/dynamic row counts must match");
-    std::vector<float> out(st.size() * feature_dim, 0.0F);
+    BG_EXPECTS(out.size() == st.size() * feature_dim,
+               "feature output span size mismatch");
+    std::fill(out.begin(), out.end(), 0.0F);
     for (std::size_t v = 0; v < st.size(); ++v) {
         float* row = &out[v * feature_dim];
         if (cfg.use_static) {
@@ -83,6 +87,13 @@ std::vector<float> assemble_features(const StaticFeatures& st,
             }
         }
     }
+}
+
+std::vector<float> assemble_features(const StaticFeatures& st,
+                                     const DynamicFeatures& dy,
+                                     const FeatureConfig& cfg) {
+    std::vector<float> out(st.size() * feature_dim);
+    assemble_features_into(st, dy, cfg, out);
     return out;
 }
 

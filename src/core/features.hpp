@@ -56,6 +56,12 @@ DynamicFeatures compute_dynamic_features(const aig::Aig& g,
 std::vector<float> assemble_features(const StaticFeatures& st,
                                      const DynamicFeatures& dy,
                                      const FeatureConfig& cfg = {});
+/// Same, written directly into `out` (size N * feature_dim) — batched
+/// callers assemble straight into their stacked matrix rows, no
+/// per-sample temporary.
+void assemble_features_into(const StaticFeatures& st,
+                            const DynamicFeatures& dy,
+                            const FeatureConfig& cfg, std::span<float> out);
 
 /// Undirected CSR adjacency of the AIG (all slots; PIs/const included,
 /// dead slots isolated).  Consumed by the GraphSAGE layers.

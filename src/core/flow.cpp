@@ -103,10 +103,13 @@ FlowResult run_flow(const Aig& design, BoolGebraModel& model,
     pfor(decisions.size(), [&](std::size_t i) {
         const auto applied = predicted_applied(design, decisions[i], st);
         const auto dy = compute_dynamic_features(design, applied);
-        const auto row = assemble_features(st, dy, cfg.features);
-        std::copy(row.begin(), row.end(), stacked.row(i * num_nodes));
+        assemble_features_into(
+            st, dy, cfg.features,
+            {stacked.row(i * num_nodes),
+             num_nodes * static_cast<std::size_t>(feature_dim)});
     });
-    res.predictions = model.predict_batch(csr, num_nodes, stacked);
+    res.predictions = model.predict_batch(
+        csr, num_nodes, stacked, BoolGebraModel::kPredictBatch, ctx.pool);
 
     // Step 3: evaluate the top-k exactly (smaller score = better).
     std::vector<std::size_t> order(decisions.size());

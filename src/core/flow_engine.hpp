@@ -8,8 +8,10 @@
 /// same pool parallelizes the per-sample loops (caller-participating
 /// fork-join, so nesting cannot deadlock).  Per design round it computes
 /// the static features and CSR adjacency once and shares them with every
-/// flow step; candidate features are assembled straight into a stacked
-/// batch matrix for BoolGebraModel::predict_batch.
+/// flow step; candidate features are assembled in place into a stacked
+/// batch matrix whose chunks reach BoolGebraModel::predict_batch as
+/// zero-copy row-panel views, and the pool also shards the blocked GEMM
+/// row panels inside inference (bit-stable, see nn/matrix.hpp).
 ///
 /// Output is bit-identical to running the sequential run_flow /
 /// run_iterated_flow per design with the same FlowConfig, independent of

@@ -47,41 +47,50 @@ void BoolGebraModel::set_input_stats(std::vector<float> mean,
     }
 }
 
-Matrix BoolGebraModel::standardized(const Matrix& x) const {
-    if (!cfg_.standardize_inputs || in_mean_.empty()) {
-        return x;
-    }
-    Matrix y = x;
-    const std::size_t f = y.cols();
-    for (std::size_t i = 0; i < y.rows(); ++i) {
-        float* row = y.row(i);
+Matrix BoolGebraModel::standardized(nn::ConstMatrixView x) const {
+    // One fused pass: materializes the (possibly strided) view and applies
+    // the column statistics together.
+    Matrix y(x.rows(), x.cols());
+    const std::size_t f = x.cols();
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        const float* src = x.row(i);
+        float* dst = y.row(i);
         for (std::size_t j = 0; j < f; ++j) {
-            row[j] = (row[j] - in_mean_[j]) / in_std_[j];
+            dst[j] = (src[j] - in_mean_[j]) / in_std_[j];
         }
     }
     return y;
 }
 
-Matrix BoolGebraModel::forward(const Matrix& x, const nn::Csr& csr,
-                               std::size_t batch, bool train) {
+Matrix BoolGebraModel::forward(nn::ConstMatrixView x, const nn::Csr& csr,
+                               std::size_t batch, bool train,
+                               bg::ThreadPool* pool) {
     BG_EXPECTS(x.rows() == batch * csr.num_nodes(),
                "feature rows must equal batch * nodes");
     cache_num_nodes_ = csr.num_nodes();
-    Matrix h = standardized(x);
-    for (std::size_t i = 0; i < convs_.size(); ++i) {
-        h = convs_[i].forward(h, csr, batch);
-        h = conv_act_[i].forward(h);
+    Matrix owned;  // standardized copy when input stats are active
+    nn::ConstMatrixView cur = x;
+    if (cfg_.standardize_inputs && !in_mean_.empty()) {
+        owned = standardized(x);
+        cur = owned;
+    }
+    Matrix h = convs_[0].forward(cur, csr, batch, train, pool);
+    h = conv_act_[0].forward(h, train);
+    h = conv_drop_[0].forward(h, train, rng_);
+    for (std::size_t i = 1; i < convs_.size(); ++i) {
+        h = convs_[i].forward(h, csr, batch, train, pool);
+        h = conv_act_[i].forward(h, train);
         h = conv_drop_[i].forward(h, train, rng_);
     }
     Matrix pooled;
     nn::mean_pool(h, batch, pooled);
-    Matrix y = linears_[0].forward(pooled);
-    y = mlp_act0_.forward(y);
+    Matrix y = linears_[0].forward(pooled, train, pool);
+    y = mlp_act0_.forward(y, train);
     y = bn0_.forward(y, train);
-    y = linears_[1].forward(y);
+    y = linears_[1].forward(y, train, pool);
     y = bn1_.forward(y, train);
-    y = linears_[2].forward(y);
-    return out_act_.forward(y);
+    y = linears_[2].forward(y, train, pool);
+    return out_act_.forward(y, train);
 }
 
 void BoolGebraModel::backward(const Matrix& dpred) {
@@ -143,52 +152,53 @@ std::size_t BoolGebraModel::num_parameters() {
 
 std::vector<double> BoolGebraModel::predict(
     const Dataset& ds, std::span<const std::size_t> indices,
-    std::size_t batch_size) {
-    std::vector<double> out;
-    out.reserve(indices.size());
+    std::size_t batch_size, bg::ThreadPool* pool) {
     const std::size_t n = ds.num_nodes();
-    for (std::size_t start = 0; start < indices.size();
-         start += batch_size) {
-        const std::size_t b =
-            std::min(batch_size, indices.size() - start);
-        Matrix x(b * n, static_cast<std::size_t>(cfg_.in_dim));
-        for (std::size_t s = 0; s < b; ++s) {
-            const auto& feats = ds.samples()[indices[start + s]].features;
-            BG_ASSERT(feats.size() == n * static_cast<std::size_t>(cfg_.in_dim),
-                      "sample feature width mismatch");
-            std::copy(feats.begin(), feats.end(), x.row(s * n));
-        }
-        const Matrix pred = forward(x, ds.csr(), b, /*train=*/false);
-        for (std::size_t s = 0; s < b; ++s) {
-            out.push_back(pred.at(s, 0));
-        }
-    }
-    return out;
+    return predict_gathered(
+        ds.csr(), n, indices.size(), batch_size, pool,
+        [&](std::size_t s) -> std::span<const float> {
+            return ds.samples()[indices[s]].features;
+        });
 }
 
 std::vector<double> BoolGebraModel::predict_features(
     const nn::Csr& csr, std::size_t num_nodes,
     std::span<const std::vector<float>> feature_rows,
-    std::size_t batch_size) {
-    // Stack one batch_size chunk at a time so peak temporary memory stays
-    // bounded by batch_size samples, as before.
+    std::size_t batch_size, bg::ThreadPool* pool) {
+    return predict_gathered(
+        csr, num_nodes, feature_rows.size(), batch_size, pool,
+        [&](std::size_t s) -> std::span<const float> {
+            return feature_rows[s];
+        });
+}
+
+std::vector<double> BoolGebraModel::predict_gathered(
+    const nn::Csr& csr, std::size_t num_nodes, std::size_t total,
+    std::size_t batch_size, bg::ThreadPool* pool,
+    const std::function<std::span<const float>(std::size_t)>& sample_row) {
+    // Scattered per-sample rows must be gathered into contiguous storage
+    // once; doing it one batch_size chunk at a time keeps peak temporary
+    // memory bounded by batch_size samples.  Each gathered chunk then runs
+    // through the shared zero-copy batching path.
+    BG_EXPECTS(batch_size > 0, "predict batch size must be positive");
     std::vector<double> out;
-    out.reserve(feature_rows.size());
-    for (std::size_t start = 0; start < feature_rows.size();
-         start += batch_size) {
-        const std::size_t b =
-            std::min(batch_size, feature_rows.size() - start);
-        Matrix stacked(b * num_nodes, static_cast<std::size_t>(cfg_.in_dim));
+    out.reserve(total);
+    Matrix stacked(std::min(batch_size, total) * num_nodes,
+                   static_cast<std::size_t>(cfg_.in_dim));
+    for (std::size_t start = 0; start < total; start += batch_size) {
+        const std::size_t b = std::min(batch_size, total - start);
         for (std::size_t s = 0; s < b; ++s) {
-            const auto& feats = feature_rows[start + s];
+            const std::span<const float> feats = sample_row(start + s);
             BG_ASSERT(feats.size() ==
                           num_nodes * static_cast<std::size_t>(cfg_.in_dim),
-                      "feature width mismatch");
+                      "sample feature width mismatch");
             std::copy(feats.begin(), feats.end(),
                       stacked.row(s * num_nodes));
         }
         for (const double p :
-             predict_batch(csr, num_nodes, stacked, batch_size)) {
+             predict_batch(csr, num_nodes,
+                           stacked.rows_view(0, b * num_nodes), batch_size,
+                           pool)) {
             out.push_back(p);
         }
     }
@@ -197,26 +207,24 @@ std::vector<double> BoolGebraModel::predict_features(
 
 std::vector<double> BoolGebraModel::predict_batch(const nn::Csr& csr,
                                                   std::size_t num_nodes,
-                                                  const nn::Matrix& stacked,
-                                                  std::size_t batch_size) {
+                                                  nn::ConstMatrixView stacked,
+                                                  std::size_t batch_size,
+                                                  bg::ThreadPool* pool) {
     BG_EXPECTS(num_nodes > 0 && stacked.rows() % num_nodes == 0,
                "stacked feature rows must be a whole number of samples");
     BG_EXPECTS(stacked.cols() == static_cast<std::size_t>(cfg_.in_dim),
                "stacked feature width mismatch");
+    BG_EXPECTS(batch_size > 0, "predict batch size must be positive");
     const std::size_t total = stacked.rows() / num_nodes;
     std::vector<double> out;
     out.reserve(total);
     for (std::size_t start = 0; start < total; start += batch_size) {
         const std::size_t b = std::min(batch_size, total - start);
-        Matrix pred;
-        if (b == total) {
-            pred = forward(stacked, csr, b, /*train=*/false);
-        } else {
-            Matrix chunk(b * num_nodes, stacked.cols());
-            const float* src = stacked.row(start * num_nodes);
-            std::copy(src, src + chunk.size(), chunk.row(0));
-            pred = forward(chunk, csr, b, /*train=*/false);
-        }
+        // Zero-copy chunking: each forward sees a row-panel view of the
+        // stacked matrix.
+        const Matrix pred =
+            forward(stacked.rows_view(start * num_nodes, b * num_nodes), csr,
+                    b, /*train=*/false, pool);
         for (std::size_t s = 0; s < b; ++s) {
             out.push_back(pred.at(s, 0));
         }

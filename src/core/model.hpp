@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -62,9 +63,12 @@ public:
     const ModelConfig& config() const { return cfg_; }
 
     /// Forward pass for a batch of samples over one graph.
-    /// `features` is (B * N, in_dim) flattened row-major; returns (B, 1).
-    nn::Matrix forward(const nn::Matrix& x, const nn::Csr& csr,
-                       std::size_t batch, bool train);
+    /// `x` is a (B * N, in_dim) row-major view (zero-copy panels of a
+    /// larger stacked matrix work); returns (B, 1).  `pool` (optional)
+    /// shards the GEMM row panels without changing any output bit.
+    nn::Matrix forward(nn::ConstMatrixView x, const nn::Csr& csr,
+                       std::size_t batch, bool train,
+                       bg::ThreadPool* pool = nullptr);
 
     /// Back-propagate dL/dpred; accumulates parameter gradients.
     void backward(const nn::Matrix& dpred);
@@ -79,32 +83,48 @@ public:
     const std::vector<float>& input_mean() const { return in_mean_; }
     const std::vector<float>& input_std() const { return in_std_; }
 
+    /// Default samples-per-forward chunk for the predict helpers.
+    static constexpr std::size_t kPredictBatch = 64;
+
     /// Convenience inference: predictions for selected dataset samples.
+    /// Gathers the samples into one stacked matrix and delegates to
+    /// predict_batch.
     std::vector<double> predict(const Dataset& ds,
                                 std::span<const std::size_t> indices,
-                                std::size_t batch_size = 64);
+                                std::size_t batch_size = kPredictBatch,
+                                bg::ThreadPool* pool = nullptr);
+    /// Same for per-sample feature vectors scattered across `feature_rows`
+    /// (one gather copy, then the shared view-based batching path).
     std::vector<double> predict_features(
         const nn::Csr& csr, std::size_t num_nodes,
         std::span<const std::vector<float>> feature_rows,
-        std::size_t batch_size = 64);
+        std::size_t batch_size = kPredictBatch,
+        bg::ThreadPool* pool = nullptr);
 
     /// Batched inference over a pre-stacked feature matrix: `stacked` is
     /// (B * num_nodes, in_dim) row-major with each sample's node block
-    /// contiguous.  Avoids the per-sample copy of predict_features when the
-    /// caller (e.g. the FlowEngine) assembles features in place.  Chunks of
-    /// `batch_size` samples go through forward() at a time; results are
-    /// identical to per-sample inference.
+    /// contiguous.  Chunks of `batch_size` samples go through forward()
+    /// as zero-copy row-panel views; results are identical to per-sample
+    /// inference.
     std::vector<double> predict_batch(const nn::Csr& csr,
                                       std::size_t num_nodes,
-                                      const nn::Matrix& stacked,
-                                      std::size_t batch_size = 64);
+                                      nn::ConstMatrixView stacked,
+                                      std::size_t batch_size = kPredictBatch,
+                                      bg::ThreadPool* pool = nullptr);
 
     /// Binary weight persistence (architecture must match on load).
     void save(const std::filesystem::path& path);
     void load(const std::filesystem::path& path);
 
 private:
-    nn::Matrix standardized(const nn::Matrix& x) const;
+    nn::Matrix standardized(nn::ConstMatrixView x) const;
+    /// Shared chunked-gather path behind predict()/predict_features():
+    /// copies batch_size samples at a time into one reused stacked matrix
+    /// (bounded peak memory) and runs predict_batch on each chunk view.
+    std::vector<double> predict_gathered(
+        const nn::Csr& csr, std::size_t num_nodes, std::size_t total,
+        std::size_t batch_size, bg::ThreadPool* pool,
+        const std::function<std::span<const float>(std::size_t)>& sample_row);
 
     ModelConfig cfg_;
     bg::Rng rng_;  ///< drives dropout masks

@@ -17,17 +17,18 @@ Linear::Linear(std::size_t in, std::size_t out, bg::Rng& rng)
       gw_(in, out),
       gb_(out, 0.0F) {}
 
-Matrix Linear::forward(const Matrix& x) {
+Matrix Linear::forward(ConstMatrixView x, bool train, bg::ThreadPool* pool) {
     BG_EXPECTS(x.cols() == w_.rows(), "linear input width mismatch");
-    cache_x_ = x;
+    cache_x_ = train ? Matrix(x) : Matrix();
     Matrix y;
-    matmul(x, w_, y);
+    matmul(x, w_, y, pool);
     add_row_bias(y, b_);
     return y;
 }
 
 Matrix Linear::backward(const Matrix& dy) {
-    BG_EXPECTS(dy.rows() == cache_x_.rows(), "linear backward shape mismatch");
+    BG_EXPECTS(!cache_x_.empty() && dy.rows() == cache_x_.rows(),
+               "linear backward needs a train-mode forward");
     Matrix gw_batch;
     matmul_tn(cache_x_, dy, gw_batch);
     for (std::size_t i = 0; i < gw_.size(); ++i) {
@@ -55,8 +56,8 @@ std::vector<ParamRef> Linear::params() {
 // ReLU6
 // ---------------------------------------------------------------------------
 
-Matrix ReLU6::forward(const Matrix& x) {
-    cache_x_ = x;
+Matrix ReLU6::forward(const Matrix& x, bool train) {
+    cache_x_ = train ? x : Matrix();
     Matrix y = x;
     for (auto& v : y.data()) {
         v = std::clamp(v, 0.0F, 6.0F);
@@ -80,12 +81,12 @@ Matrix ReLU6::backward(const Matrix& dy) {
 // Sigmoid
 // ---------------------------------------------------------------------------
 
-Matrix Sigmoid::forward(const Matrix& x) {
+Matrix Sigmoid::forward(const Matrix& x, bool train) {
     Matrix y = x;
     for (auto& v : y.data()) {
         v = 1.0F / (1.0F + std::exp(-v));
     }
-    cache_y_ = y;
+    cache_y_ = train ? y : Matrix();
     return y;
 }
 

@@ -3,8 +3,13 @@
 /// \file layers.hpp
 /// The dense layers of the BoolGebra predictor (Fig 3g): Linear, ReLU6,
 /// Sigmoid, Dropout and BatchNorm1d, each with explicit forward/backward.
-/// Layers cache what backward needs; the training loop is single-threaded
-/// by design (one model instance per thread if parallelism is wanted).
+/// Layers cache what backward needs — only when forward runs in train
+/// mode; eval-mode forward skips the cache copies entirely, which keeps
+/// the inference hot path allocation-light.  Inputs are taken as
+/// ConstMatrixView so batched callers can pass zero-copy row panels.  The
+/// training loop is single-threaded by design (one model instance per
+/// thread if parallelism is wanted); the optional `pool` shards the GEMM
+/// row panels without changing a single output bit.
 
 #include "nn/matrix.hpp"
 #include "util/rng.hpp"
@@ -22,7 +27,10 @@ class Linear {
 public:
     Linear(std::size_t in, std::size_t out, bg::Rng& rng);
 
-    Matrix forward(const Matrix& x);
+    /// `train` = false skips the input cache (backward then requires a new
+    /// train-mode forward first).
+    Matrix forward(ConstMatrixView x, bool train = true,
+                   bg::ThreadPool* pool = nullptr);
     /// Accumulates parameter gradients, returns dL/dx.
     Matrix backward(const Matrix& dy);
 
@@ -45,7 +53,7 @@ private:
 /// min(max(x, 0), 6) — the paper's activation.
 class ReLU6 {
 public:
-    Matrix forward(const Matrix& x);
+    Matrix forward(const Matrix& x, bool train = true);
     Matrix backward(const Matrix& dy);
 
 private:
@@ -54,7 +62,7 @@ private:
 
 class Sigmoid {
 public:
-    Matrix forward(const Matrix& x);
+    Matrix forward(const Matrix& x, bool train = true);
     Matrix backward(const Matrix& dy);
 
 private:

@@ -4,7 +4,7 @@
 
 namespace bg::nn {
 
-void mean_aggregate(const Matrix& x, const Csr& csr, std::size_t batch,
+void mean_aggregate(ConstMatrixView x, const Csr& csr, std::size_t batch,
                     Matrix& h) {
     const std::size_t n = csr.num_nodes();
     BG_EXPECTS(x.rows() == batch * n, "feature rows must be batch * nodes");
@@ -34,7 +34,7 @@ void mean_aggregate(const Matrix& x, const Csr& csr, std::size_t batch,
     }
 }
 
-void mean_aggregate_transpose(const Matrix& dh, const Csr& csr,
+void mean_aggregate_transpose(ConstMatrixView dh, const Csr& csr,
                               std::size_t batch, Matrix& dx) {
     const std::size_t n = csr.num_nodes();
     BG_EXPECTS(dh.rows() == batch * n, "gradient rows must be batch * nodes");
@@ -61,7 +61,7 @@ void mean_aggregate_transpose(const Matrix& dh, const Csr& csr,
     }
 }
 
-void mean_pool(const Matrix& x, std::size_t batch, Matrix& pooled) {
+void mean_pool(ConstMatrixView x, std::size_t batch, Matrix& pooled) {
     BG_EXPECTS(batch > 0 && x.rows() % batch == 0,
                "rows must divide evenly into batch blocks");
     const std::size_t n = x.rows() / batch;
@@ -107,20 +107,31 @@ SageConv::SageConv(std::size_t in, std::size_t out, bg::Rng& rng)
       gw_neigh_(in, out),
       gb_(out, 0.0F) {}
 
-Matrix SageConv::forward(const Matrix& x, const Csr& csr, std::size_t batch) {
+Matrix SageConv::forward(ConstMatrixView x, const Csr& csr,
+                         std::size_t batch, bool train,
+                         bg::ThreadPool* pool) {
     BG_EXPECTS(x.cols() == w_self_.rows(), "sage input width mismatch");
-    cache_x_ = x;
-    csr_ = &csr;
-    batch_ = batch;
-    mean_aggregate(x, csr, batch, cache_h_);
+    Matrix h;  // aggregated neighbors
+    mean_aggregate(x, csr, batch, h);
     Matrix y;
-    matmul(x, w_self_, y);
+    matmul(x, w_self_, y, pool);
     Matrix yn;
-    matmul(cache_h_, w_neigh_, yn);
+    matmul(h, w_neigh_, yn, pool);
     for (std::size_t i = 0; i < y.size(); ++i) {
         y.data()[i] += yn.data()[i];
     }
     add_row_bias(y, b_);
+    if (train) {
+        cache_x_ = Matrix(x);
+        cache_h_ = std::move(h);
+        csr_ = &csr;
+        batch_ = batch;
+    } else {
+        cache_x_ = Matrix();
+        cache_h_ = Matrix();
+        csr_ = nullptr;
+        batch_ = 0;
+    }
     return y;
 }
 

@@ -31,7 +31,10 @@ public:
     SageConv(std::size_t in, std::size_t out, bg::Rng& rng);
 
     /// `x` is (B*N, in); the same CSR applies to each of the B blocks.
-    Matrix forward(const Matrix& x, const Csr& csr, std::size_t batch);
+    /// `train` = false skips the backward caches; `pool` shards the GEMM
+    /// row panels bit-stably.
+    Matrix forward(ConstMatrixView x, const Csr& csr, std::size_t batch,
+                   bool train = true, bg::ThreadPool* pool = nullptr);
     Matrix backward(const Matrix& dy);
 
     void zero_grad();
@@ -55,14 +58,14 @@ private:
 };
 
 /// H[i] = mean of X over i's neighbors, per batch block.
-void mean_aggregate(const Matrix& x, const Csr& csr, std::size_t batch,
+void mean_aggregate(ConstMatrixView x, const Csr& csr, std::size_t batch,
                     Matrix& h);
 /// Transposed aggregation: DX[j] += DH[i]/deg(i) for each edge (i, j).
-void mean_aggregate_transpose(const Matrix& dh, const Csr& csr,
+void mean_aggregate_transpose(ConstMatrixView dh, const Csr& csr,
                               std::size_t batch, Matrix& dx);
 
 /// Mean pooling over each block of N node rows -> (B, F), and its adjoint.
-void mean_pool(const Matrix& x, std::size_t batch, Matrix& pooled);
+void mean_pool(ConstMatrixView x, std::size_t batch, Matrix& pooled);
 void mean_pool_backward(const Matrix& dpooled, std::size_t num_nodes,
                         Matrix& dx);
 
