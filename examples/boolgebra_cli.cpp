@@ -12,6 +12,12 @@
 ///            batched GNN-guided flow over one or many designs; design
 ///            arguments may be registry globs (e.g. 'b1*'); --random
 ///            replaces priority-guided sampling with uniform sampling
+///   serve    <design...>|--all [flow flags] [--repeat N]
+///            [--swap-model weights.bin|fresh] [--swap-after N]
+///            long-lived FlowService demo: submits every design (repeated
+///            --repeat times) to the serving queue, optionally hot-swaps
+///            the model mid-stream, and reports latency percentiles and
+///            throughput
 ///   apply    <design> --decisions d.csv [-o out]
 ///   cec      <design1> <design2>               equivalence check (sim + SAT)
 ///   map      <design> [-k K]                   K-LUT technology mapping
@@ -25,6 +31,8 @@
 #include <optional>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +40,7 @@
 #include "aig/cec.hpp"
 #include "circuits/registry.hpp"
 #include "core/flow_engine.hpp"
+#include "core/flow_service.hpp"
 #include "core/sampling.hpp"
 #include "io/aiger.hpp"
 #include "io/bench.hpp"
@@ -56,6 +65,8 @@ int usage() {
         "  flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]\n"
         "           [--workers W] [--scale S] [--seed S] [--model f]\n"
         "           [--random]\n"
+        "  serve    <design...>|--all [flow flags] [--repeat N]\n"
+        "           [--swap-model f|fresh] [--swap-after N]\n"
         "  apply    <design> --decisions d.csv [-o out]\n"
         "  cec      <design1> <design2>\n"
         "  map      <design> [-k K]\n"
@@ -200,40 +211,55 @@ int cmd_sample(Aig g, std::vector<std::string> args) {
     return 0;
 }
 
-int cmd_flow(std::vector<std::string> args) {
+/// Flags shared by the `flow` and `serve` commands.
+struct FlowArgs {
+    bg::core::EngineConfig cfg;
+    double scale = 1.0;
+    bool all = false;
+    std::optional<std::string> model_path;
+};
+
+FlowArgs parse_flow_args(std::vector<std::string>& args) {
+    FlowArgs out;
     const auto samples_arg = flag_value(args, "--samples");
     const auto topk_arg = flag_value(args, "--top-k");
     const auto rounds_arg = flag_value(args, "--rounds");
     const auto workers_arg = flag_value(args, "--workers");
     const auto scale_arg = flag_value(args, "--scale");
     const auto seed_arg = flag_value(args, "--seed");
-    const auto model_arg = flag_value(args, "--model");
-    const bool all = flag_present(args, "--all");
+    out.model_path = flag_value(args, "--model");
+    out.all = flag_present(args, "--all");
     const bool random = flag_present(args, "--random");
 
-    bg::core::EngineConfig cfg;
-    cfg.flow.num_samples =
+    out.cfg.flow.num_samples =
         samples_arg
             ? static_cast<std::size_t>(std::atoll(samples_arg->c_str()))
             : 100;
-    cfg.flow.top_k =
+    out.cfg.flow.top_k =
         topk_arg ? static_cast<std::size_t>(std::atoll(topk_arg->c_str()))
                  : 10;
-    cfg.flow.guided = !random;
-    cfg.flow.seed =
+    out.cfg.flow.guided = !random;
+    out.cfg.flow.seed =
         seed_arg ? static_cast<std::uint64_t>(std::atoll(seed_arg->c_str()))
                  : 1;
-    cfg.rounds = rounds_arg
-                     ? static_cast<std::size_t>(std::atoll(rounds_arg->c_str()))
-                     : 1;
-    cfg.workers =
+    out.cfg.rounds =
+        rounds_arg ? static_cast<std::size_t>(std::atoll(rounds_arg->c_str()))
+                   : 1;
+    out.cfg.workers =
         workers_arg
             ? static_cast<std::size_t>(std::atoll(workers_arg->c_str()))
             : 0;
-    const double scale = scale_arg ? std::stod(scale_arg->c_str()) : 1.0;
+    out.scale = scale_arg ? std::stod(scale_arg->c_str()) : 1.0;
+    return out;
+}
 
-    // Collect jobs: --all, registry globs, registry names (name[@scale])
-    // and netlist files all mix freely.
+/// Collect jobs: --all, registry globs, registry names (name[@scale]) and
+/// netlist files all mix freely.  A glob-looking spec ('*'/'?') that
+/// matches no registry design is an error — returns nullopt after
+/// printing it, so the command exits non-zero instead of "running" over
+/// zero designs.
+std::optional<std::vector<bg::core::DesignJob>> collect_jobs(
+    const std::vector<std::string>& specs, bool all, double scale) {
     std::vector<bg::core::DesignJob> jobs;
     const auto add_registry = [&](std::span<const std::string> names) {
         for (auto& job : bg::core::jobs_from_registry(names, scale)) {
@@ -243,28 +269,49 @@ int cmd_flow(std::vector<std::string> args) {
     if (all) {
         add_registry(bg::circuits::benchmark_names());
     }
-    for (const auto& spec : args) {
+    for (const auto& spec : specs) {
         const auto expanded = bg::core::expand_registry_pattern(spec);
         if (!expanded.empty()) {
             add_registry(expanded);
+        } else if (spec.find_first_of("*?") != std::string::npos) {
+            std::fprintf(stderr,
+                         "error: pattern '%s' matches no registry design "
+                         "(run 'boolgebra_cli list' for the names)\n",
+                         spec.c_str());
+            return std::nullopt;
         } else {
             jobs.push_back({spec, load_design(spec)});
         }
     }
-    if (jobs.empty()) {
+    return jobs;
+}
+
+/// Build the quick-architecture model, optionally loading weights.
+bg::core::BoolGebraModel make_cli_model(
+    const std::optional<std::string>& path) {
+    bg::core::BoolGebraModel model{bg::core::ModelConfig::quick()};
+    if (path) {
+        model.load(*path);
+    } else {
+        std::puts("note: no --model given; ranking with untrained weights");
+    }
+    return model;
+}
+
+int cmd_flow(std::vector<std::string> args) {
+    const FlowArgs parsed = parse_flow_args(args);
+    const auto jobs = collect_jobs(args, parsed.all, parsed.scale);
+    if (!jobs) {
+        return 2;
+    }
+    if (jobs->empty()) {
         std::puts("flow requires at least one design (or --all)");
         return 2;
     }
 
-    bg::core::BoolGebraModel model{bg::core::ModelConfig::quick()};
-    if (model_arg) {
-        model.load(*model_arg);
-    } else {
-        std::puts("note: no --model given; ranking with untrained weights");
-    }
-
-    bg::core::FlowEngine engine(cfg);
-    const auto batch = engine.run(jobs, model);
+    const bg::core::BoolGebraModel model = make_cli_model(parsed.model_path);
+    bg::core::FlowEngine engine(parsed.cfg);
+    const auto batch = engine.run(*jobs, model);
 
     bg::TablePrinter table({"design", "ands", "BG-Mean", "BG-Best", "final",
                             "rounds", "sec"});
@@ -286,6 +333,97 @@ int cmd_flow(std::vector<std::string> args) {
                 batch.designs.size(), batch.total_samples,
                 batch.total_seconds, engine.workers(),
                 batch.designs_per_second, batch.samples_per_second);
+    return 0;
+}
+
+int cmd_serve(std::vector<std::string> args) {
+    const auto swap_arg = flag_value(args, "--swap-model");
+    const auto swap_after_arg = flag_value(args, "--swap-after");
+    const auto repeat_arg = flag_value(args, "--repeat");
+    const FlowArgs parsed = parse_flow_args(args);
+    const auto jobs = collect_jobs(args, parsed.all, parsed.scale);
+    if (!jobs) {
+        return 2;
+    }
+    if (jobs->empty()) {
+        std::puts("serve requires at least one design (or --all)");
+        return 2;
+    }
+    const std::size_t repeat =
+        repeat_arg
+            ? std::max<std::size_t>(
+                  1, static_cast<std::size_t>(std::atoll(repeat_arg->c_str())))
+            : 1;
+    const std::size_t total = jobs->size() * repeat;
+    const std::size_t swap_after =
+        swap_after_arg
+            ? static_cast<std::size_t>(std::atoll(swap_after_arg->c_str()))
+            : total / 2;
+
+    auto initial = std::make_shared<bg::core::BoolGebraModel>(
+        make_cli_model(parsed.model_path));
+    bg::core::ServiceConfig scfg;
+    scfg.workers = parsed.cfg.workers;
+    scfg.rounds = parsed.cfg.rounds;
+    scfg.flow = parsed.cfg.flow;
+    bg::core::FlowService service(scfg, initial);
+    std::printf("serving %zu jobs (%zu designs x %zu) on %zu workers\n",
+                total, jobs->size(), repeat, service.workers());
+
+    std::vector<std::future<bg::core::DesignFlowResult>> futures;
+    futures.reserve(total);
+    std::size_t submitted = 0;
+    bool swapped = false;
+    for (std::size_t r = 0; r < repeat; ++r) {
+        for (const auto& job : *jobs) {
+            if (swap_arg && !swapped && submitted >= swap_after) {
+                // Hot-swap mid-stream: jobs already submitted keep the
+                // snapshot they were bound to.  "fresh" reseeds so the
+                // swapped model visibly ranks differently.
+                auto swap_cfg = bg::core::ModelConfig::quick();
+                if (*swap_arg == "fresh") {
+                    swap_cfg.seed ^= 0x5EED;
+                }
+                auto next =
+                    std::make_shared<bg::core::BoolGebraModel>(swap_cfg);
+                if (*swap_arg != "fresh") {
+                    next->load(*swap_arg);
+                }
+                service.swap_model(std::move(next));
+                swapped = true;
+                std::printf("-- hot-swapped model after %zu submissions --\n",
+                            submitted);
+            }
+            futures.push_back(service.submit(job));
+            ++submitted;
+        }
+    }
+
+    bg::TablePrinter table(
+        {"job", "design", "ands", "BG-Best", "final", "sec"});
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto d = futures[i].get();
+        table.add_row({std::to_string(i), d.name,
+                       std::to_string(d.original_size),
+                       bg::TablePrinter::fmt(d.flow.bg_best_ratio),
+                       bg::TablePrinter::fmt(d.iterated.final_ratio),
+                       bg::TablePrinter::fmt(d.seconds, 2)});
+    }
+    service.stop();
+    table.print();
+
+    const auto st = service.stats();
+    std::printf("\nserved %llu/%llu jobs in %.2fs uptime "
+                "(%.2f jobs/s, %.1f samples/s, %llu samples)\n",
+                static_cast<unsigned long long>(st.jobs_completed),
+                static_cast<unsigned long long>(st.jobs_submitted),
+                st.uptime_seconds, st.jobs_per_second, st.samples_per_second,
+                static_cast<unsigned long long>(st.samples_run));
+    std::printf("latency p50 %.3fs p95 %.3fs, busy %.2fs, "
+                "model swaps %llu\n",
+                st.p50_latency_seconds, st.p95_latency_seconds,
+                st.busy_seconds,
+                static_cast<unsigned long long>(st.model_swaps));
     return 0;
 }
 
@@ -346,6 +484,9 @@ int main(int argc, char** argv) {
         }
         if (cmd == "flow") {
             return cmd_flow(std::move(args));
+        }
+        if (cmd == "serve") {
+            return cmd_serve(std::move(args));
         }
         if (cmd == "apply" && !args.empty()) {
             Aig g = load_design(args[0]);

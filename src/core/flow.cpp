@@ -58,12 +58,12 @@ std::vector<DecisionVector> generate_decisions(const Aig& design,
     return out;
 }
 
-FlowResult run_flow(const Aig& design, BoolGebraModel& model,
+FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                     const FlowConfig& cfg) {
     return run_flow(design, model, cfg, FlowContext{});
 }
 
-FlowResult run_flow(const Aig& design, BoolGebraModel& model,
+FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                     const FlowConfig& cfg, const FlowContext& ctx) {
     BG_EXPECTS(cfg.num_samples > 0 && cfg.top_k > 0,
                "flow needs samples and a positive top-k");
@@ -110,6 +110,7 @@ FlowResult run_flow(const Aig& design, BoolGebraModel& model,
     });
     res.predictions = model.predict_batch(
         csr, num_nodes, stacked, BoolGebraModel::kPredictBatch, ctx.pool);
+    res.samples_evaluated = res.predictions.size();
 
     // Step 3: evaluate the top-k exactly (smaller score = better).
     std::vector<std::size_t> order(decisions.size());
@@ -150,7 +151,8 @@ FlowResult run_flow(const Aig& design, BoolGebraModel& model,
     return res;
 }
 
-IteratedFlowResult run_iterated_flow(const Aig& design, BoolGebraModel& model,
+IteratedFlowResult run_iterated_flow(const Aig& design,
+                                     const BoolGebraModel& model,
                                      const FlowConfig& cfg,
                                      std::size_t max_rounds,
                                      ThreadPool* pool) {

@@ -41,6 +41,10 @@ struct IteratedFlowResult {
 
 struct FlowResult {
     std::size_t original_size = 0;
+    /// Decision vectors actually scored by the predictor in this run —
+    /// measured, not the configured budget, so throughput accounting
+    /// downstream (FlowEngine/FlowService samples/s) reports real work.
+    std::size_t samples_evaluated = 0;
     /// Model scores for every sampled decision vector (lower = better).
     std::vector<double> predictions;
     /// Indices (into the sample batch) of the evaluated top-k.
@@ -80,10 +84,13 @@ struct FlowContext {
     ThreadPool* pool = nullptr;  ///< inner loops run here when set
 };
 
-/// Run the full sample -> prune -> evaluate flow on one design.
-FlowResult run_flow(const aig::Aig& design, BoolGebraModel& model,
+/// Run the full sample -> prune -> evaluate flow on one design.  The
+/// model is shared read-only: inference goes through the const
+/// predict_batch/forward_eval path, so one instance (or one FlowService
+/// snapshot) can serve many concurrent flows without copies.
+FlowResult run_flow(const aig::Aig& design, const BoolGebraModel& model,
                     const FlowConfig& cfg = {});
-FlowResult run_flow(const aig::Aig& design, BoolGebraModel& model,
+FlowResult run_flow(const aig::Aig& design, const BoolGebraModel& model,
                     const FlowConfig& cfg, const FlowContext& ctx);
 
 /// Run up to `max_rounds` flows, committing each round's best candidate;
@@ -91,7 +98,7 @@ FlowResult run_flow(const aig::Aig& design, BoolGebraModel& model,
 /// for every round's inner loops (cached features are per-round state the
 /// iteration manages itself).
 IteratedFlowResult run_iterated_flow(const aig::Aig& design,
-                                     BoolGebraModel& model,
+                                     const BoolGebraModel& model,
                                      const FlowConfig& cfg = {},
                                      std::size_t max_rounds = 3,
                                      ThreadPool* pool = nullptr);

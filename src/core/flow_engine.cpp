@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "circuits/registry.hpp"
+#include "core/flow_service.hpp"
 #include "util/contracts.hpp"
 #include "util/progress.hpp"
 
@@ -10,24 +11,21 @@ namespace bg::core {
 
 using aig::Aig;
 
-FlowEngine::FlowEngine(EngineConfig cfg)
-    : cfg_(cfg), pool_(cfg.workers) {
-    BG_EXPECTS(cfg_.rounds >= 1, "engine needs at least one flow round");
-}
-
-DesignFlowResult FlowEngine::run_one(const DesignJob& job,
-                                     const BoolGebraModel& model) {
+DesignFlowResult run_design_flow(const DesignJob& job,
+                                 const BoolGebraModel& model,
+                                 const FlowConfig& flow_cfg,
+                                 std::size_t rounds, ThreadPool* pool) {
+    BG_EXPECTS(rounds >= 1, "a design flow needs at least one round");
     DesignFlowResult res;
     res.name = job.name;
     res.original_size = job.design.num_ands();
     res.iterated.original_size = res.original_size;
 
     const bg::Stopwatch watch;
-    BoolGebraModel local(model);  // private copy: forward caches mutate
     Aig current = job.design;
-    FlowConfig round_cfg = cfg_.flow;
-    for (std::size_t round = 0; round < cfg_.rounds; ++round) {
-        round_cfg.seed = cfg_.flow.seed + round;  // fresh samples per round
+    FlowConfig round_cfg = flow_cfg;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        round_cfg.seed = flow_cfg.seed + round;  // fresh samples per round
         // Per-round caches shared by every flow step of this design.
         const StaticFeatures st =
             compute_static_features(current, round_cfg.opt);
@@ -35,9 +33,9 @@ DesignFlowResult FlowEngine::run_one(const DesignJob& job,
         FlowContext ctx;
         ctx.static_features = &st;
         ctx.csr = &csr;
-        ctx.pool = &pool_;
-        const FlowResult flow = run_flow(current, local, round_cfg, ctx);
-        res.samples_run += round_cfg.num_samples;
+        ctx.pool = pool;
+        const FlowResult flow = run_flow(current, model, round_cfg, ctx);
+        res.samples_run += flow.samples_evaluated;
         const bool productive =
             flow.best_reduction > 0 && !flow.best_decisions.empty();
         if (round == 0) {
@@ -47,14 +45,14 @@ DesignFlowResult FlowEngine::run_one(const DesignJob& job,
             break;
         }
         res.iterated.per_round_reduction.push_back(flow.best_reduction);
-        if (cfg_.rounds == 1) {
+        if (rounds == 1) {
             break;  // single-shot: nothing is committed
         }
         auto decisions = flow.best_decisions;
         (void)opt::orchestrate(current, decisions, round_cfg.opt);
         current = current.compact();
     }
-    if (cfg_.rounds == 1) {
+    if (rounds == 1) {
         // Final size is the best evaluated candidate's (uncommitted).
         res.iterated.final_size =
             res.original_size -
@@ -70,14 +68,51 @@ DesignFlowResult FlowEngine::run_one(const DesignJob& job,
     return res;
 }
 
+FlowEngine::FlowEngine(EngineConfig cfg) : cfg_(cfg) {
+    BG_EXPECTS(cfg_.rounds >= 1, "engine needs at least one flow round");
+    ServiceConfig scfg;
+    scfg.workers = cfg_.workers;
+    scfg.rounds = cfg_.rounds;
+    scfg.flow = cfg_.flow;
+    service_ = std::make_unique<FlowService>(scfg);
+}
+
+FlowEngine::~FlowEngine() = default;
+
+std::size_t FlowEngine::workers() const { return service_->workers(); }
+
+DesignFlowResult FlowEngine::run_one(const DesignJob& job,
+                                     const BoolGebraModel& model) {
+    return run_design_flow(job, model, cfg_.flow, cfg_.rounds,
+                           &service_->pool());
+}
+
 BatchFlowResult FlowEngine::run(std::span<const DesignJob> jobs,
                                 const BoolGebraModel& model) {
     BatchFlowResult out;
     out.designs.resize(jobs.size());
     const bg::Stopwatch watch;
-    pool_.for_each(jobs.size(), [&](std::size_t j) {
-        out.designs[j] = run_one(jobs[j], model);
-    });
+    // Non-owning snapshot: `model` outlives the batch because every
+    // future is waited on below, and the service's reference is dropped
+    // again before returning.
+    service_->swap_model(ModelSnapshot(&model, [](const BoolGebraModel*) {}));
+    try {
+        std::vector<std::future<DesignFlowResult>> futures;
+        futures.reserve(jobs.size());
+        for (const auto& job : jobs) {
+            futures.push_back(service_->submit(job));
+        }
+        for (std::size_t j = 0; j < futures.size(); ++j) {
+            out.designs[j] = futures[j].get();
+        }
+    } catch (...) {
+        // Never keep the non-owning snapshot past this call: wait out any
+        // already-submitted jobs, drop the reference, then rethrow.
+        service_->drain();
+        service_->swap_model(nullptr);
+        throw;
+    }
+    service_->swap_model(nullptr);
     out.total_seconds = watch.seconds();
 
     if (!out.designs.empty()) {
@@ -109,17 +144,17 @@ std::vector<DesignJob> jobs_from_registry(std::span<const std::string> names,
     std::vector<DesignJob> jobs;
     jobs.reserve(names.size());
     for (const auto& name : names) {
-        jobs.push_back(
-            {name, scale == 1.0
-                       ? circuits::make_benchmark(name)
-                       : circuits::make_benchmark_scaled(name, scale)});
+        // One code path for every scale: make_benchmark_scaled(name, 1.0)
+        // reproduces make_benchmark exactly (asserted by
+        // tests/test_flow_engine.cpp), so no float-equality dispatch.
+        jobs.push_back({name, circuits::make_benchmark_scaled(name, scale)});
     }
     return jobs;
 }
 
 namespace {
 
-bool glob_match(const char* pat, const char* str) {
+bool glob_match_impl(const char* pat, const char* str) {
     // Iterative '*'/'?' matcher with single-star backtracking.
     const char* star = nullptr;
     const char* resume = nullptr;
@@ -145,10 +180,14 @@ bool glob_match(const char* pat, const char* str) {
 
 }  // namespace
 
+bool glob_match(const std::string& pattern, const std::string& text) {
+    return glob_match_impl(pattern.c_str(), text.c_str());
+}
+
 std::vector<std::string> expand_registry_pattern(const std::string& pattern) {
     std::vector<std::string> out;
     for (const auto& info : circuits::benchmark_registry()) {
-        if (glob_match(pattern.c_str(), info.name.c_str())) {
+        if (glob_match(pattern, info.name)) {
             out.push_back(info.name);
         }
     }

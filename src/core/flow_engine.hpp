@@ -3,21 +3,27 @@
 /// \file flow_engine.hpp
 /// Batched multi-design flow execution.  The paper evaluates BoolGebra per
 /// design (Table I); production use runs the sample -> prune -> evaluate
-/// flow over a whole design suite.  The FlowEngine owns a persistent
-/// ThreadPool and schedules one job per design on it; inside each job the
-/// same pool parallelizes the per-sample loops (caller-participating
-/// fork-join, so nesting cannot deadlock).  Per design round it computes
-/// the static features and CSR adjacency once and shares them with every
-/// flow step; candidate features are assembled in place into a stacked
-/// batch matrix whose chunks reach BoolGebraModel::predict_batch as
-/// zero-copy row-panel views, and the pool also shards the blocked GEMM
-/// row panels inside inference (bit-stable, see nn/matrix.hpp).
+/// flow over a whole design suite.  The FlowEngine is a thin batch facade
+/// over the long-lived FlowService (flow_service.hpp): run() binds the
+/// caller's model as a non-owning snapshot, submits every job to the
+/// service queue and waits for the futures, so the batch path and the
+/// serving path exercise the same internals.  Inside each job the shared
+/// pool parallelizes the per-sample loops (caller-participating fork-join,
+/// so nesting cannot deadlock).  Per design round it computes the static
+/// features and CSR adjacency once and shares them with every flow step;
+/// candidate features are assembled in place into a stacked batch matrix
+/// whose chunks reach BoolGebraModel::predict_batch as zero-copy row-panel
+/// views, and the pool also shards the blocked GEMM row panels inside
+/// inference (bit-stable, see nn/matrix.hpp).
 ///
-/// Output is bit-identical to running the sequential run_flow /
+/// The model is shared read-only across every concurrent job — inference
+/// runs the const eval path (forward_eval), so no per-job model copy is
+/// made.  Output is bit-identical to running the sequential run_flow /
 /// run_iterated_flow per design with the same FlowConfig, independent of
 /// the worker count (everything is written to per-index slots).
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,6 +32,8 @@
 #include "util/parallel.hpp"
 
 namespace bg::core {
+
+class FlowService;  // flow_service.hpp
 
 struct EngineConfig {
     std::size_t workers = 0;  ///< pool threads (0 = default_worker_count())
@@ -48,7 +56,11 @@ struct DesignFlowResult {
     /// the best evaluated candidate; for rounds > 1 this matches
     /// run_iterated_flow exactly.
     IteratedFlowResult iterated;
-    std::size_t samples_run = 0;  ///< decision vectors sampled (all rounds)
+    /// Decision vectors actually scored across all executed rounds —
+    /// accumulated from each round's FlowResult::samples_evaluated, not
+    /// from the configured budget, so an early-breaking iterated flow
+    /// reports only the work it really did.
+    std::size_t samples_run = 0;
     double seconds = 0.0;
 };
 
@@ -64,33 +76,50 @@ struct BatchFlowResult {
     double samples_per_second = 0.0;
 };
 
+/// The per-design unit of work shared by FlowEngine and FlowService: run
+/// `rounds` flow rounds (committing each productive best when rounds > 1)
+/// with per-round StaticFeatures/CSR caching, on `pool` when given.  The
+/// model is read-only; results are bit-identical to the sequential
+/// run_flow / run_iterated_flow with the same config.
+DesignFlowResult run_design_flow(const DesignJob& job,
+                                 const BoolGebraModel& model,
+                                 const FlowConfig& flow, std::size_t rounds,
+                                 ThreadPool* pool);
+
 class FlowEngine {
 public:
     explicit FlowEngine(EngineConfig cfg = {});
+    ~FlowEngine();
 
     const EngineConfig& config() const { return cfg_; }
-    std::size_t workers() const { return pool_.size(); }
+    std::size_t workers() const;
 
-    /// Run the flow over every job.  `model` is shared read-only: each
-    /// design job works on a private copy because forward() mutates
-    /// layer caches (weights are never touched in inference, so results
-    /// equal the sequential single-model run).
+    /// Run the flow over every job.  `model` is shared read-only across
+    /// the whole batch (bound as a non-owning service snapshot for the
+    /// duration of the call); results equal the sequential single-model
+    /// run bit for bit.
     BatchFlowResult run(std::span<const DesignJob> jobs,
                         const BoolGebraModel& model);
 
-    /// Convenience wrapper for a single design.
+    /// Convenience wrapper for a single design, run on the caller thread.
     DesignFlowResult run_one(const DesignJob& job,
                              const BoolGebraModel& model);
 
 private:
     EngineConfig cfg_;
-    ThreadPool pool_;
+    std::unique_ptr<FlowService> service_;
 };
 
 /// Registry names -> jobs, optionally scaled (scale < 1.0 shrinks for
-/// quick runs, > 1.0 grows).  Unknown names throw std::out_of_range.
+/// quick runs, > 1.0 grows).  Every scale goes through
+/// make_benchmark_scaled — an identity at scale 1.0 — so there is no
+/// float-equality special case.  Unknown names throw std::out_of_range.
 std::vector<DesignJob> jobs_from_registry(std::span<const std::string> names,
                                           double scale = 1.0);
+
+/// Shell-style match: '*' = any run (including empty), '?' = any single
+/// character, everything else literal.  The registry pattern language.
+bool glob_match(const std::string& pattern, const std::string& text);
 
 /// Expand a shell-style pattern ('*' and '?') against the registry names;
 /// a literal name matches itself.  Returns names in registry order.

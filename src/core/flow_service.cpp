@@ -1,0 +1,176 @@
+#include "core/flow_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace bg::core {
+
+FlowService::FlowService(ServiceConfig cfg, ModelSnapshot model)
+    : cfg_(cfg), pool_(cfg.workers), model_(std::move(model)) {
+    BG_EXPECTS(cfg_.rounds >= 1, "service needs at least one flow round");
+    BG_EXPECTS(cfg_.latency_window >= 1, "latency window must be positive");
+    latencies_.assign(cfg_.latency_window, 0.0);
+}
+
+FlowService::~FlowService() { stop(); }
+
+void FlowService::swap_model(ModelSnapshot model) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    model_ = std::move(model);
+    ++swaps_;
+}
+
+ModelSnapshot FlowService::model_snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return model_;
+}
+
+std::future<DesignFlowResult> FlowService::submit(DesignJob job) {
+    std::future<DesignFlowResult> future;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (!accepting_) {
+            throw std::runtime_error(
+                "FlowService is stopped and rejects new jobs");
+        }
+        if (model_ == nullptr) {
+            throw std::invalid_argument(
+                "FlowService has no model installed (swap_model first)");
+        }
+        QueuedJob queued;
+        queued.job = std::move(job);
+        queued.model = model_;  // bind the snapshot at submission
+        future = queued.promise.get_future();
+        queue_.push_back(std::move(queued));
+        ++submitted_;
+    }
+    // One serving task per job: any pool worker may pop any queued job.
+    // The job always reaches the queue before its task reaches the pool,
+    // so a serving task can never find the queue empty.
+    (void)pool_.submit([this] { serve_next(); });
+    return future;
+}
+
+std::vector<std::future<DesignFlowResult>> FlowService::submit_batch(
+    std::vector<DesignJob> jobs) {
+    std::vector<std::future<DesignFlowResult>> futures;
+    futures.reserve(jobs.size());
+    for (auto& job : jobs) {
+        futures.push_back(submit(std::move(job)));
+    }
+    return futures;
+}
+
+void FlowService::serve_next() {
+    QueuedJob queued;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty()) {
+            return;  // defensive: tasks and jobs are 1:1
+        }
+        queued = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+    }
+    const bg::Stopwatch exec;
+    DesignFlowResult res;
+    std::exception_ptr error;
+    try {
+        res = run_design_flow(queued.job, *queued.model, cfg_.flow,
+                              cfg_.rounds, &pool_);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    const double busy = exec.seconds();
+    const double latency = queued.queued.seconds();
+    {
+        // Account first, deliver after: once a future resolves, stats()
+        // already reflects that job.
+        const std::lock_guard<std::mutex> lock(mu_);
+        --running_;
+        ++completed_;
+        samples_ += error == nullptr ? res.samples_run : 0;
+        busy_seconds_ += busy;
+        latencies_[latency_next_] = latency;
+        latency_next_ = (latency_next_ + 1) % latencies_.size();
+        latency_full_ = latency_full_ || latency_next_ == 0;
+        if (queue_.empty() && running_ == 0) {
+            idle_cv_.notify_all();
+        }
+    }
+    if (error != nullptr) {
+        queued.promise.set_exception(error);
+    } else {
+        queued.promise.set_value(std::move(res));
+    }
+}
+
+void FlowService::drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void FlowService::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        accepting_ = false;
+    }
+    drain();
+}
+
+bool FlowService::accepting() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return accepting_;
+}
+
+namespace {
+
+double percentile(std::vector<double>& sorted_scratch, double q) {
+    if (sorted_scratch.empty()) {
+        return 0.0;
+    }
+    // Nearest-rank on the sorted window.
+    const auto n = sorted_scratch.size();
+    const auto rank = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(n) - 1.0,
+        std::max(0.0, std::ceil(q * static_cast<double>(n)) - 1.0)));
+    return sorted_scratch[rank];
+}
+
+}  // namespace
+
+ServiceStats FlowService::stats() const {
+    ServiceStats out;
+    std::vector<double> window;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        out.jobs_submitted = submitted_;
+        out.jobs_completed = completed_;
+        out.jobs_pending = queue_.size() + running_;
+        out.samples_run = samples_;
+        out.model_swaps = swaps_;
+        out.busy_seconds = busy_seconds_;
+        const std::size_t filled =
+            latency_full_ ? latencies_.size() : latency_next_;
+        window.assign(latencies_.begin(),
+                      latencies_.begin() +
+                          static_cast<std::ptrdiff_t>(filled));
+    }
+    out.uptime_seconds = uptime_.seconds();
+    std::sort(window.begin(), window.end());
+    out.p50_latency_seconds = percentile(window, 0.50);
+    out.p95_latency_seconds = percentile(window, 0.95);
+    if (out.uptime_seconds > 0.0) {
+        out.jobs_per_second =
+            static_cast<double>(out.jobs_completed) / out.uptime_seconds;
+        out.samples_per_second =
+            static_cast<double>(out.samples_run) / out.uptime_seconds;
+    }
+    return out;
+}
+
+}  // namespace bg::core

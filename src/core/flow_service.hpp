@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file flow_service.hpp
+/// Long-lived cross-design serving: an always-on front end over the
+/// FlowEngine internals.  Where FlowEngine::run batches a fixed job list,
+/// FlowService keeps accepting design jobs for as long as it lives — the
+/// ROADMAP's "heavy traffic" north star.
+///
+///  * **MPMC queue on the shared ThreadPool.**  Any number of producer
+///    threads submit() jobs; every submission enqueues the job and
+///    schedules one serving task on the pool, so any worker may pick up
+///    any job (jobs start in FIFO order).  Inside a job the same pool
+///    parallelizes the per-sample loops via the nesting-safe,
+///    caller-participating for_each.
+///  * **Atomic model hot-swap.**  The model is a
+///    shared_ptr<const BoolGebraModel> snapshot.  swap_model() replaces it
+///    for *later* submissions; every queued/in-flight job keeps the
+///    snapshot it was bound to at submit() time and finishes on it.  This
+///    is sound because eval-mode inference is genuinely const
+///    (BoolGebraModel::predict_batch / forward_eval) — no per-job model
+///    copy is ever made.
+///  * **Graceful shutdown.**  drain() blocks until the service is idle;
+///    stop() additionally rejects further submissions.  The destructor
+///    stops implicitly.
+///  * **Rolling stats.**  Jobs served, submit-to-completion latency
+///    percentiles over a sliding window, and samples/s throughput.
+///
+/// Results are bit-identical to a sequential run_flow / run_iterated_flow
+/// with the snapshot the job was bound to, independent of worker count,
+/// queue depth, and any concurrent hot-swaps.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/flow_engine.hpp"
+#include "util/progress.hpp"
+
+namespace bg::core {
+
+/// An immutable model snapshot shared between the service and its
+/// in-flight jobs.  Callers usually make_shared a trained model; a
+/// non-owning snapshot (null deleter) works when the model provably
+/// outlives every job bound to it, which is how FlowEngine::run wraps its
+/// caller's model.
+using ModelSnapshot = std::shared_ptr<const BoolGebraModel>;
+
+struct ServiceConfig {
+    std::size_t workers = 0;  ///< pool threads (0 = default_worker_count())
+    std::size_t rounds = 1;   ///< flow rounds per job (>1 = iterated)
+    FlowConfig flow;          ///< per-job flow parameters
+    /// Sliding window of per-job latencies kept for the p50/p95 stats.
+    std::size_t latency_window = 512;
+};
+
+/// A point-in-time view of the serving counters.
+struct ServiceStats {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;  ///< includes failed jobs
+    std::uint64_t jobs_pending = 0;    ///< queued + currently executing
+    std::uint64_t samples_run = 0;     ///< decision vectors scored (measured)
+    std::uint64_t model_swaps = 0;
+    double uptime_seconds = 0.0;
+    double busy_seconds = 0.0;  ///< summed per-job execution time
+    /// Submit-to-completion latency percentiles over the sliding window.
+    double p50_latency_seconds = 0.0;
+    double p95_latency_seconds = 0.0;
+    /// Completed-job throughput over the service lifetime.
+    double jobs_per_second = 0.0;
+    double samples_per_second = 0.0;
+};
+
+class FlowService {
+public:
+    explicit FlowService(ServiceConfig cfg = {}, ModelSnapshot model = {});
+    ~FlowService();  // stop()s: pending jobs finish, new ones are rejected
+
+    FlowService(const FlowService&) = delete;
+    FlowService& operator=(const FlowService&) = delete;
+
+    const ServiceConfig& config() const { return cfg_; }
+    std::size_t workers() const { return pool_.size(); }
+    ThreadPool& pool() { return pool_; }
+
+    /// Install `model` for jobs submitted from now on; in-flight and
+    /// queued jobs keep the snapshot they were bound to.  A null snapshot
+    /// is allowed (drops the service's reference) but submissions are
+    /// rejected until a real model is installed again.
+    void swap_model(ModelSnapshot model);
+    ModelSnapshot model_snapshot() const;
+
+    /// Enqueue one design job, bound to the current model snapshot.  The
+    /// future reports the job's DesignFlowResult or rethrows its error.
+    /// Throws std::runtime_error after stop() and std::invalid_argument
+    /// when no model is installed.
+    std::future<DesignFlowResult> submit(DesignJob job);
+    std::vector<std::future<DesignFlowResult>> submit_batch(
+        std::vector<DesignJob> jobs);
+
+    /// Block until the service is idle (no queued or executing job).
+    /// Concurrent producers may keep the service busy past the return —
+    /// call stop() first for a definitive quiesce.
+    void drain();
+
+    /// Reject further submissions, then drain().  Idempotent.
+    void stop();
+    bool accepting() const;
+
+    ServiceStats stats() const;
+
+private:
+    struct QueuedJob {
+        DesignJob job;
+        ModelSnapshot model;  ///< bound at submit() time
+        std::promise<DesignFlowResult> promise;
+        bg::Stopwatch queued;  ///< started at submit() -> latency
+    };
+
+    void serve_next();  ///< one pool task: pop one job and run it
+
+    ServiceConfig cfg_;
+    ThreadPool pool_;
+    const bg::Stopwatch uptime_;
+
+    mutable std::mutex mu_;
+    std::condition_variable idle_cv_;  ///< signalled when service goes idle
+    std::deque<QueuedJob> queue_;
+    std::size_t running_ = 0;
+    bool accepting_ = true;
+    ModelSnapshot model_;
+    // Counters (guarded by mu_).
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t swaps_ = 0;
+    std::uint64_t samples_ = 0;
+    double busy_seconds_ = 0.0;
+    std::vector<double> latencies_;  ///< ring buffer, latency_window wide
+    std::size_t latency_next_ = 0;
+    bool latency_full_ = false;
+};
+
+}  // namespace bg::core

@@ -47,10 +47,13 @@ void BoolGebraModel::set_input_stats(std::vector<float> mean,
     }
 }
 
-Matrix BoolGebraModel::standardized(nn::ConstMatrixView x) const {
+void BoolGebraModel::standardize_into(nn::ConstMatrixView x,
+                                      Matrix& y) const {
     // One fused pass: materializes the (possibly strided) view and applies
     // the column statistics together.
-    Matrix y(x.rows(), x.cols());
+    if (y.rows() != x.rows() || y.cols() != x.cols()) {
+        y = Matrix(x.rows(), x.cols());
+    }
     const std::size_t f = x.cols();
     for (std::size_t i = 0; i < x.rows(); ++i) {
         const float* src = x.row(i);
@@ -59,7 +62,6 @@ Matrix BoolGebraModel::standardized(nn::ConstMatrixView x) const {
             dst[j] = (src[j] - in_mean_[j]) / in_std_[j];
         }
     }
-    return y;
 }
 
 Matrix BoolGebraModel::forward(nn::ConstMatrixView x, const nn::Csr& csr,
@@ -71,7 +73,7 @@ Matrix BoolGebraModel::forward(nn::ConstMatrixView x, const nn::Csr& csr,
     Matrix owned;  // standardized copy when input stats are active
     nn::ConstMatrixView cur = x;
     if (cfg_.standardize_inputs && !in_mean_.empty()) {
-        owned = standardized(x);
+        standardize_into(x, owned);
         cur = owned;
     }
     Matrix h = convs_[0].forward(cur, csr, batch, train, pool);
@@ -91,6 +93,39 @@ Matrix BoolGebraModel::forward(nn::ConstMatrixView x, const nn::Csr& csr,
     y = bn1_.forward(y, train);
     y = linears_[2].forward(y, train, pool);
     return out_act_.forward(y, train);
+}
+
+Matrix BoolGebraModel::forward_eval(nn::ConstMatrixView x,
+                                    const nn::Csr& csr, std::size_t batch,
+                                    nn::EvalScratch& scratch,
+                                    bg::ThreadPool* pool) const {
+    BG_EXPECTS(x.rows() == batch * csr.num_nodes(),
+               "feature rows must equal batch * nodes");
+    nn::ConstMatrixView cur = x;
+    if (cfg_.standardize_inputs && !in_mean_.empty()) {
+        standardize_into(x, scratch.standardized);
+        cur = scratch.standardized;
+    }
+    if (scratch.sage_agg.size() < convs_.size()) {
+        scratch.sage_agg.resize(convs_.size());
+    }
+    // Dropout is the identity at eval time and is skipped outright.
+    Matrix h =
+        convs_[0].forward_eval(cur, csr, batch, scratch.sage_agg[0], pool);
+    h = conv_act_[0].forward_eval(std::move(h));
+    for (std::size_t i = 1; i < convs_.size(); ++i) {
+        h = convs_[i].forward_eval(h, csr, batch, scratch.sage_agg[i], pool);
+        h = conv_act_[i].forward_eval(std::move(h));
+    }
+    Matrix pooled;
+    nn::mean_pool(h, batch, pooled);
+    Matrix y = linears_[0].forward_eval(pooled, pool);
+    y = mlp_act0_.forward_eval(std::move(y));
+    y = bn0_.forward_eval(y);
+    y = linears_[1].forward_eval(y, pool);
+    y = bn1_.forward_eval(y);
+    y = linears_[2].forward_eval(y, pool);
+    return out_act_.forward_eval(std::move(y));
 }
 
 void BoolGebraModel::backward(const Matrix& dpred) {
@@ -152,7 +187,7 @@ std::size_t BoolGebraModel::num_parameters() {
 
 std::vector<double> BoolGebraModel::predict(
     const Dataset& ds, std::span<const std::size_t> indices,
-    std::size_t batch_size, bg::ThreadPool* pool) {
+    std::size_t batch_size, bg::ThreadPool* pool) const {
     const std::size_t n = ds.num_nodes();
     return predict_gathered(
         ds.csr(), n, indices.size(), batch_size, pool,
@@ -164,7 +199,7 @@ std::vector<double> BoolGebraModel::predict(
 std::vector<double> BoolGebraModel::predict_features(
     const nn::Csr& csr, std::size_t num_nodes,
     std::span<const std::vector<float>> feature_rows,
-    std::size_t batch_size, bg::ThreadPool* pool) {
+    std::size_t batch_size, bg::ThreadPool* pool) const {
     return predict_gathered(
         csr, num_nodes, feature_rows.size(), batch_size, pool,
         [&](std::size_t s) -> std::span<const float> {
@@ -175,7 +210,8 @@ std::vector<double> BoolGebraModel::predict_features(
 std::vector<double> BoolGebraModel::predict_gathered(
     const nn::Csr& csr, std::size_t num_nodes, std::size_t total,
     std::size_t batch_size, bg::ThreadPool* pool,
-    const std::function<std::span<const float>(std::size_t)>& sample_row) {
+    const std::function<std::span<const float>(std::size_t)>& sample_row)
+    const {
     // Scattered per-sample rows must be gathered into contiguous storage
     // once; doing it one batch_size chunk at a time keeps peak temporary
     // memory bounded by batch_size samples.  Each gathered chunk then runs
@@ -209,7 +245,7 @@ std::vector<double> BoolGebraModel::predict_batch(const nn::Csr& csr,
                                                   std::size_t num_nodes,
                                                   nn::ConstMatrixView stacked,
                                                   std::size_t batch_size,
-                                                  bg::ThreadPool* pool) {
+                                                  bg::ThreadPool* pool) const {
     BG_EXPECTS(num_nodes > 0 && stacked.rows() % num_nodes == 0,
                "stacked feature rows must be a whole number of samples");
     BG_EXPECTS(stacked.cols() == static_cast<std::size_t>(cfg_.in_dim),
@@ -218,13 +254,14 @@ std::vector<double> BoolGebraModel::predict_batch(const nn::Csr& csr,
     const std::size_t total = stacked.rows() / num_nodes;
     std::vector<double> out;
     out.reserve(total);
+    nn::EvalScratch scratch;  // temporaries shared across the chunks
     for (std::size_t start = 0; start < total; start += batch_size) {
         const std::size_t b = std::min(batch_size, total - start);
         // Zero-copy chunking: each forward sees a row-panel view of the
         // stacked matrix.
         const Matrix pred =
-            forward(stacked.rows_view(start * num_nodes, b * num_nodes), csr,
-                    b, /*train=*/false, pool);
+            forward_eval(stacked.rows_view(start * num_nodes, b * num_nodes),
+                         csr, b, scratch, pool);
         for (std::size_t s = 0; s < b; ++s) {
             out.push_back(pred.at(s, 0));
         }

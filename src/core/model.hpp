@@ -70,6 +70,16 @@ public:
                        std::size_t batch, bool train,
                        bg::ThreadPool* pool = nullptr);
 
+    /// Genuinely const eval-mode forward: bit-identical to
+    /// forward(x, ..., /*train=*/false) but never touches the layer
+    /// backward caches, so one model instance serves concurrent inference
+    /// (the FlowService shares shared_ptr<const BoolGebraModel> snapshots
+    /// across in-flight jobs).  `scratch` holds the per-thread temporaries
+    /// — reuse one instance per thread across calls, never share it.
+    nn::Matrix forward_eval(nn::ConstMatrixView x, const nn::Csr& csr,
+                            std::size_t batch, nn::EvalScratch& scratch,
+                            bg::ThreadPool* pool = nullptr) const;
+
     /// Back-propagate dL/dpred; accumulates parameter gradients.
     void backward(const nn::Matrix& dpred);
 
@@ -92,39 +102,42 @@ public:
     std::vector<double> predict(const Dataset& ds,
                                 std::span<const std::size_t> indices,
                                 std::size_t batch_size = kPredictBatch,
-                                bg::ThreadPool* pool = nullptr);
+                                bg::ThreadPool* pool = nullptr) const;
     /// Same for per-sample feature vectors scattered across `feature_rows`
     /// (one gather copy, then the shared view-based batching path).
     std::vector<double> predict_features(
         const nn::Csr& csr, std::size_t num_nodes,
         std::span<const std::vector<float>> feature_rows,
         std::size_t batch_size = kPredictBatch,
-        bg::ThreadPool* pool = nullptr);
+        bg::ThreadPool* pool = nullptr) const;
 
     /// Batched inference over a pre-stacked feature matrix: `stacked` is
     /// (B * num_nodes, in_dim) row-major with each sample's node block
-    /// contiguous.  Chunks of `batch_size` samples go through forward()
-    /// as zero-copy row-panel views; results are identical to per-sample
-    /// inference.
+    /// contiguous.  Chunks of `batch_size` samples go through
+    /// forward_eval() as zero-copy row-panel views; results are identical
+    /// to per-sample inference.  Const and cache-free: safe to call
+    /// concurrently from many threads on one shared model.
     std::vector<double> predict_batch(const nn::Csr& csr,
                                       std::size_t num_nodes,
                                       nn::ConstMatrixView stacked,
                                       std::size_t batch_size = kPredictBatch,
-                                      bg::ThreadPool* pool = nullptr);
+                                      bg::ThreadPool* pool = nullptr) const;
 
     /// Binary weight persistence (architecture must match on load).
     void save(const std::filesystem::path& path);
     void load(const std::filesystem::path& path);
 
 private:
-    nn::Matrix standardized(nn::ConstMatrixView x) const;
+    /// Standardize `x` into `y`, reusing y's storage when already sized.
+    void standardize_into(nn::ConstMatrixView x, nn::Matrix& y) const;
     /// Shared chunked-gather path behind predict()/predict_features():
     /// copies batch_size samples at a time into one reused stacked matrix
     /// (bounded peak memory) and runs predict_batch on each chunk view.
     std::vector<double> predict_gathered(
         const nn::Csr& csr, std::size_t num_nodes, std::size_t total,
         std::size_t batch_size, bg::ThreadPool* pool,
-        const std::function<std::span<const float>(std::size_t)>& sample_row);
+        const std::function<std::span<const float>(std::size_t)>& sample_row)
+        const;
 
     ModelConfig cfg_;
     bg::Rng rng_;  ///< drives dropout masks

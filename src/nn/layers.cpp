@@ -18,8 +18,12 @@ Linear::Linear(std::size_t in, std::size_t out, bg::Rng& rng)
       gb_(out, 0.0F) {}
 
 Matrix Linear::forward(ConstMatrixView x, bool train, bg::ThreadPool* pool) {
-    BG_EXPECTS(x.cols() == w_.rows(), "linear input width mismatch");
     cache_x_ = train ? Matrix(x) : Matrix();
+    return forward_eval(x, pool);
+}
+
+Matrix Linear::forward_eval(ConstMatrixView x, bg::ThreadPool* pool) const {
+    BG_EXPECTS(x.cols() == w_.rows(), "linear input width mismatch");
     Matrix y;
     matmul(x, w_, y, pool);
     add_row_bias(y, b_);
@@ -58,11 +62,14 @@ std::vector<ParamRef> Linear::params() {
 
 Matrix ReLU6::forward(const Matrix& x, bool train) {
     cache_x_ = train ? x : Matrix();
-    Matrix y = x;
-    for (auto& v : y.data()) {
+    return forward_eval(x);
+}
+
+Matrix ReLU6::forward_eval(Matrix x) const {
+    for (auto& v : x.data()) {
         v = std::clamp(v, 0.0F, 6.0F);
     }
-    return y;
+    return x;
 }
 
 Matrix ReLU6::backward(const Matrix& dy) {
@@ -82,12 +89,16 @@ Matrix ReLU6::backward(const Matrix& dy) {
 // ---------------------------------------------------------------------------
 
 Matrix Sigmoid::forward(const Matrix& x, bool train) {
-    Matrix y = x;
-    for (auto& v : y.data()) {
-        v = 1.0F / (1.0F + std::exp(-v));
-    }
+    Matrix y = forward_eval(x);
     cache_y_ = train ? y : Matrix();
     return y;
+}
+
+Matrix Sigmoid::forward_eval(Matrix x) const {
+    for (auto& v : x.data()) {
+        v = 1.0F / (1.0F + std::exp(-v));
+    }
+    return x;
 }
 
 Matrix Sigmoid::backward(const Matrix& dy) {
@@ -151,32 +162,12 @@ BatchNorm1d::BatchNorm1d(std::size_t dim, float momentum, float eps)
       momentum_(momentum),
       eps_(eps) {}
 
-Matrix BatchNorm1d::forward(const Matrix& x, bool train) {
-    BG_EXPECTS(x.cols() == gamma_.size(), "batchnorm width mismatch");
+void BatchNorm1d::batch_stats(const Matrix& x, std::vector<float>& mean,
+                              std::vector<float>& var) const {
     const std::size_t n = x.rows();
     const std::size_t d = x.cols();
-    Matrix y(n, d);
-    // Batch statistics are used whenever the batch is large enough —
-    // including at evaluation time.  With graph-level mean pooling the
-    // inter-sample signal is small relative to the running variance, and
-    // the standard running-stat eval mode washes it out (a known
-    // small-batch-regression pathology); normalizing the evaluation batch
-    // itself preserves the ranking the predictor was trained to produce.
-    if (n == 1) {
-        cache_xhat_ = Matrix();
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = 0; j < d; ++j) {
-                const float inv =
-                    1.0F / std::sqrt(running_var_[j] + eps_);
-                const float xhat = (x.at(i, j) - running_mean_[j]) * inv;
-                y.at(i, j) = gamma_[j] * xhat + beta_[j];
-            }
-        }
-        return y;
-    }
-
-    std::vector<float> mean(d, 0.0F);
-    std::vector<float> var(d, 0.0F);
+    mean.assign(d, 0.0F);
+    var.assign(d, 0.0F);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < d; ++j) {
             mean[j] += x.at(i, j);
@@ -194,22 +185,70 @@ Matrix BatchNorm1d::forward(const Matrix& x, bool train) {
     for (auto& v : var) {
         v /= static_cast<float>(n);
     }
+}
+
+Matrix BatchNorm1d::forward(const Matrix& x, bool train) {
+    if (!train || x.rows() == 1) {
+        // Eval, or a degenerate single-row train batch (backward then
+        // requires a fresh multi-row forward): no cache, no running-stat
+        // update — same bits as the const path.
+        cache_xhat_ = Matrix();
+        cache_inv_std_.clear();
+        return forward_eval(x);
+    }
+    BG_EXPECTS(x.cols() == gamma_.size(), "batchnorm width mismatch");
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    std::vector<float> mean;
+    std::vector<float> var;
+    batch_stats(x, mean, var);
 
     cache_xhat_ = Matrix(n, d);
     cache_inv_std_.assign(d, 0.0F);
     for (std::size_t j = 0; j < d; ++j) {
         cache_inv_std_[j] = 1.0F / std::sqrt(var[j] + eps_);
-        if (train) {
-            running_mean_[j] =
-                (1.0F - momentum_) * running_mean_[j] + momentum_ * mean[j];
-            running_var_[j] =
-                (1.0F - momentum_) * running_var_[j] + momentum_ * var[j];
-        }
+        running_mean_[j] =
+            (1.0F - momentum_) * running_mean_[j] + momentum_ * mean[j];
+        running_var_[j] =
+            (1.0F - momentum_) * running_var_[j] + momentum_ * var[j];
     }
+    Matrix y(n, d);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < d; ++j) {
             const float xhat = (x.at(i, j) - mean[j]) * cache_inv_std_[j];
             cache_xhat_.at(i, j) = xhat;
+            y.at(i, j) = gamma_[j] * xhat + beta_[j];
+        }
+    }
+    return y;
+}
+
+Matrix BatchNorm1d::forward_eval(const Matrix& x) const {
+    BG_EXPECTS(x.cols() == gamma_.size(), "batchnorm width mismatch");
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    Matrix y(n, d);
+    // Batch statistics are used whenever the batch is large enough —
+    // including at evaluation time.  With graph-level mean pooling the
+    // inter-sample signal is small relative to the running variance, and
+    // the standard running-stat eval mode washes it out (a known
+    // small-batch-regression pathology); normalizing the evaluation batch
+    // itself preserves the ranking the predictor was trained to produce.
+    if (n == 1) {
+        for (std::size_t j = 0; j < d; ++j) {
+            const float inv = 1.0F / std::sqrt(running_var_[j] + eps_);
+            const float xhat = (x.at(0, j) - running_mean_[j]) * inv;
+            y.at(0, j) = gamma_[j] * xhat + beta_[j];
+        }
+        return y;
+    }
+    std::vector<float> mean;
+    std::vector<float> var;
+    batch_stats(x, mean, var);
+    for (std::size_t j = 0; j < d; ++j) {
+        const float inv_std = 1.0F / std::sqrt(var[j] + eps_);
+        for (std::size_t i = 0; i < n; ++i) {
+            const float xhat = (x.at(i, j) - mean[j]) * inv_std;
             y.at(i, j) = gamma_[j] * xhat + beta_[j];
         }
     }

@@ -10,6 +10,13 @@
 /// training loop is single-threaded by design (one model instance per
 /// thread if parallelism is wanted); the optional `pool` shards the GEMM
 /// row panels without changing a single output bit.
+///
+/// Every layer also exposes a `forward_eval()` that is genuinely `const`:
+/// it computes the same bits as `forward(x, /*train=*/false)` but never
+/// touches the backward caches, so one model instance can serve
+/// concurrent inference (the FlowService shares a
+/// `shared_ptr<const BoolGebraModel>` across jobs).  Per-thread
+/// temporaries live in an EvalScratch the caller threads through.
 
 #include "nn/matrix.hpp"
 #include "util/rng.hpp"
@@ -23,6 +30,17 @@ struct ParamRef {
     std::size_t size = 0;
 };
 
+/// Reusable temporaries for the const eval-mode forward path.  Buffers are
+/// sized on first use and reused across forward_eval() calls, so a long
+/// inference stream allocates once.  One scratch per thread: instances
+/// must never be shared between concurrent forwards.
+struct EvalScratch {
+    Matrix standardized;  ///< model input standardization buffer
+    /// SageConv neighbor-aggregation buffers, one per conv layer (layer
+    /// widths differ, so sharing one buffer would reallocate every call).
+    std::vector<Matrix> sage_agg;
+};
+
 class Linear {
 public:
     Linear(std::size_t in, std::size_t out, bg::Rng& rng);
@@ -31,6 +49,9 @@ public:
     /// train-mode forward first).
     Matrix forward(ConstMatrixView x, bool train = true,
                    bg::ThreadPool* pool = nullptr);
+    /// Same bits as forward(x, false) without touching any member.
+    Matrix forward_eval(ConstMatrixView x,
+                        bg::ThreadPool* pool = nullptr) const;
     /// Accumulates parameter gradients, returns dL/dx.
     Matrix backward(const Matrix& dy);
 
@@ -54,6 +75,8 @@ private:
 class ReLU6 {
 public:
     Matrix forward(const Matrix& x, bool train = true);
+    /// In-place clamp of the (by-value) input; stateless.
+    Matrix forward_eval(Matrix x) const;
     Matrix backward(const Matrix& dy);
 
 private:
@@ -63,6 +86,8 @@ private:
 class Sigmoid {
 public:
     Matrix forward(const Matrix& x, bool train = true);
+    /// In-place logistic of the (by-value) input; stateless.
+    Matrix forward_eval(Matrix x) const;
     Matrix backward(const Matrix& dy);
 
 private:
@@ -91,6 +116,9 @@ public:
                          float eps = 1e-5F);
 
     Matrix forward(const Matrix& x, bool train);
+    /// Same bits as forward(x, false) — running statistics for a single
+    /// row, batch statistics otherwise — without touching any member.
+    Matrix forward_eval(const Matrix& x) const;
     Matrix backward(const Matrix& dy);
 
     void zero_grad();
@@ -99,6 +127,11 @@ public:
     std::size_t dim() const { return gamma_.size(); }
 
 private:
+    /// Per-column batch mean/variance, shared by the train and eval
+    /// forwards so their arithmetic cannot drift apart.
+    void batch_stats(const Matrix& x, std::vector<float>& mean,
+                     std::vector<float>& var) const;
+
     std::vector<float> gamma_;
     std::vector<float> beta_;
     std::vector<float> g_gamma_;

@@ -9,7 +9,11 @@ void mean_aggregate(ConstMatrixView x, const Csr& csr, std::size_t batch,
     const std::size_t n = csr.num_nodes();
     BG_EXPECTS(x.rows() == batch * n, "feature rows must be batch * nodes");
     const std::size_t f = x.cols();
-    h = Matrix(x.rows(), f);
+    if (h.rows() == x.rows() && h.cols() == f) {
+        h.fill(0.0F);
+    } else {
+        h = Matrix(x.rows(), f);
+    }
     for (std::size_t b = 0; b < batch; ++b) {
         const std::size_t base = b * n;
         for (std::size_t i = 0; i < n; ++i) {
@@ -110,20 +114,11 @@ SageConv::SageConv(std::size_t in, std::size_t out, bg::Rng& rng)
 Matrix SageConv::forward(ConstMatrixView x, const Csr& csr,
                          std::size_t batch, bool train,
                          bg::ThreadPool* pool) {
-    BG_EXPECTS(x.cols() == w_self_.rows(), "sage input width mismatch");
-    Matrix h;  // aggregated neighbors
-    mean_aggregate(x, csr, batch, h);
-    Matrix y;
-    matmul(x, w_self_, y, pool);
-    Matrix yn;
-    matmul(h, w_neigh_, yn, pool);
-    for (std::size_t i = 0; i < y.size(); ++i) {
-        y.data()[i] += yn.data()[i];
-    }
-    add_row_bias(y, b_);
+    Matrix agg;  // aggregated neighbors
+    Matrix y = forward_eval(x, csr, batch, agg, pool);
     if (train) {
         cache_x_ = Matrix(x);
-        cache_h_ = std::move(h);
+        cache_h_ = std::move(agg);
         csr_ = &csr;
         batch_ = batch;
     } else {
@@ -132,6 +127,22 @@ Matrix SageConv::forward(ConstMatrixView x, const Csr& csr,
         csr_ = nullptr;
         batch_ = 0;
     }
+    return y;
+}
+
+Matrix SageConv::forward_eval(ConstMatrixView x, const Csr& csr,
+                              std::size_t batch, Matrix& agg,
+                              bg::ThreadPool* pool) const {
+    BG_EXPECTS(x.cols() == w_self_.rows(), "sage input width mismatch");
+    mean_aggregate(x, csr, batch, agg);
+    Matrix y;
+    matmul(x, w_self_, y, pool);
+    Matrix yn;
+    matmul(agg, w_neigh_, yn, pool);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        y.data()[i] += yn.data()[i];
+    }
+    add_row_bias(y, b_);
     return y;
 }
 

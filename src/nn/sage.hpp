@@ -35,6 +35,12 @@ public:
     /// row panels bit-stably.
     Matrix forward(ConstMatrixView x, const Csr& csr, std::size_t batch,
                    bool train = true, bg::ThreadPool* pool = nullptr);
+    /// Same bits as forward(x, ..., false) without touching any member;
+    /// the neighbor aggregation reuses `agg` (one scratch buffer per
+    /// layer per thread, see EvalScratch).
+    Matrix forward_eval(ConstMatrixView x, const Csr& csr,
+                        std::size_t batch, Matrix& agg,
+                        bg::ThreadPool* pool = nullptr) const;
     Matrix backward(const Matrix& dy);
 
     void zero_grad();
@@ -57,7 +63,8 @@ private:
     std::size_t batch_ = 0;
 };
 
-/// H[i] = mean of X over i's neighbors, per batch block.
+/// H[i] = mean of X over i's neighbors, per batch block.  `h` is reused
+/// without reallocation when it already has the right shape.
 void mean_aggregate(ConstMatrixView x, const Csr& csr, std::size_t batch,
                     Matrix& h);
 /// Transposed aggregation: DX[j] += DH[i]/deg(i) for each edge (i, j).

@@ -2,6 +2,7 @@
 
 #include "circuits/registry.hpp"
 #include "core/flow_engine.hpp"
+#include "io/aiger.hpp"
 
 namespace {
 
@@ -170,6 +171,89 @@ TEST(FlowEngineHelpers, JobsFromRegistryBuildsScaledDesigns) {
     EXPECT_GT(full[0].design.num_ands(), scaled[0].design.num_ands());
     const std::vector<std::string> unknown = {"no_such_design"};
     EXPECT_THROW((void)jobs_from_registry(unknown), std::out_of_range);
+}
+
+TEST(FlowEngine, SamplesRunCountsOnlyExecutedRounds) {
+    // Iterated flow with a generous round budget: the engine must report
+    // the decision vectors actually scored (executed rounds, including
+    // the final unproductive one), not rounds * num_samples.
+    const DesignJob job = {"b09",
+                          bg::circuits::make_benchmark_scaled("b09", 0.3)};
+    const BoolGebraModel model{tiny_config()};
+    EngineConfig cfg;
+    cfg.rounds = 10;
+    cfg.flow = tiny_flow();
+    FlowEngine engine(cfg);
+    const auto res = engine.run_one(job, model);
+
+    // The flow stops committing long before the budget on this tiny
+    // design; the early-break round still ran (and is still counted).
+    ASSERT_LT(res.iterated.rounds(), cfg.rounds);
+    const std::size_t executed = res.iterated.rounds() + 1;
+    EXPECT_EQ(res.samples_run, executed * cfg.flow.num_samples);
+    EXPECT_LT(res.samples_run, cfg.rounds * cfg.flow.num_samples);
+    EXPECT_EQ(res.flow.samples_evaluated, cfg.flow.num_samples);
+}
+
+TEST(FlowEngineHelpers, ScaledGeneratorIsIdentityAtScaleOne) {
+    // jobs_from_registry routes every scale through make_benchmark_scaled;
+    // that is only sound if scale 1.0 reproduces make_benchmark exactly.
+    for (const auto& name : bg::circuits::benchmark_names()) {
+        SCOPED_TRACE(name);
+        const auto direct = bg::circuits::make_benchmark(name);
+        const auto scaled = bg::circuits::make_benchmark_scaled(name, 1.0);
+        EXPECT_EQ(bg::io::write_aiger_string(direct),
+                  bg::io::write_aiger_string(scaled));
+    }
+    const std::vector<std::string> names = {"b07"};
+    const auto jobs = jobs_from_registry(names);  // default scale 1.0
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(bg::io::write_aiger_string(jobs[0].design),
+              bg::io::write_aiger_string(bg::circuits::make_benchmark("b07")));
+}
+
+TEST(FlowEngineHelpers, GlobMatchEdgeCases) {
+    // Empty pattern / empty text.
+    EXPECT_TRUE(glob_match("", ""));
+    EXPECT_FALSE(glob_match("", "a"));
+    EXPECT_FALSE(glob_match("a", ""));
+    EXPECT_TRUE(glob_match("*", ""));
+    EXPECT_TRUE(glob_match("**", ""));
+    EXPECT_FALSE(glob_match("?", ""));
+
+    // Literals and '?'.
+    EXPECT_TRUE(glob_match("b07", "b07"));
+    EXPECT_FALSE(glob_match("b07", "b08"));
+    EXPECT_FALSE(glob_match("b07", "b071"));
+    EXPECT_TRUE(glob_match("b0?", "b07"));
+    EXPECT_FALSE(glob_match("b0?", "b0"));
+    EXPECT_FALSE(glob_match("b0?", "b077"));
+    EXPECT_TRUE(glob_match("???", "b07"));
+
+    // '*' runs, prefixes, suffixes.
+    EXPECT_TRUE(glob_match("*", "anything"));
+    EXPECT_TRUE(glob_match("b*", "b12"));
+    EXPECT_TRUE(glob_match("*7", "b07"));
+    EXPECT_TRUE(glob_match("b*7", "b07"));
+    EXPECT_TRUE(glob_match("b*7", "b7"));
+    EXPECT_FALSE(glob_match("b*7", "b08"));
+    EXPECT_TRUE(glob_match("c*0", "c2670"));
+
+    // Repeated-star backtracking: the second star must be able to re-seek
+    // after the first match attempt fails.
+    EXPECT_TRUE(glob_match("*a*b", "xaxxab"));
+    EXPECT_TRUE(glob_match("a*b*c", "aXbXbc"));
+    EXPECT_FALSE(glob_match("a*b*c", "aXbXb"));
+    EXPECT_TRUE(glob_match("*ab", "ababab"));
+    EXPECT_FALSE(glob_match("*ab*x", "ababab"));
+    EXPECT_TRUE(glob_match("a?*c", "abc"));
+    EXPECT_FALSE(glob_match("a?*c", "ac"));
+
+    // Mixed star/question with trailing stars.
+    EXPECT_TRUE(glob_match("b1*", "b1"));
+    EXPECT_TRUE(glob_match("b1**", "b12"));
+    EXPECT_FALSE(glob_match("b1*2*4", "b1234X"));
+    EXPECT_TRUE(glob_match("b1*2*4", "b1X2X4"));
 }
 
 TEST(FlowEngineHelpers, RegistryPatternExpansion) {

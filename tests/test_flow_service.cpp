@@ -1,0 +1,195 @@
+/// \file test_flow_service.cpp
+/// The long-lived FlowService: model hot-swap binds snapshots at submit
+/// time, drain/stop quiesce under concurrent producers, and the const
+/// eval-mode inference path lets many threads share one model instance
+/// bit-identically.  This suite runs under the TSan CI job — it is the
+/// race-proof of the shared-snapshot design.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "core/flow_service.hpp"
+
+namespace {
+
+using namespace bg::core;  // NOLINT: test brevity
+
+ModelConfig tiny_config(std::uint64_t seed = 21) {
+    ModelConfig cfg;
+    cfg.sage_dims = {12, 12, 8};
+    cfg.mlp_dims = {16, 8, 1};
+    cfg.dropout = 0.0F;
+    cfg.seed = seed;
+    return cfg;
+}
+
+FlowConfig tiny_flow() {
+    FlowConfig fc;
+    fc.num_samples = 24;
+    fc.top_k = 4;
+    fc.seed = 11;
+    return fc;
+}
+
+ServiceConfig tiny_service(std::size_t workers = 2) {
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.flow = tiny_flow();
+    return cfg;
+}
+
+std::vector<DesignJob> tiny_jobs() {
+    std::vector<DesignJob> jobs;
+    for (const char* name : {"b07", "b08", "b09", "b10"}) {
+        jobs.push_back({name, bg::circuits::make_benchmark_scaled(name, 0.3)});
+    }
+    return jobs;
+}
+
+void expect_same_flow(const FlowResult& got, const FlowResult& want) {
+    EXPECT_EQ(got.predictions, want.predictions);
+    EXPECT_EQ(got.selected, want.selected);
+    EXPECT_EQ(got.reductions, want.reductions);
+    EXPECT_EQ(got.best_reduction, want.best_reduction);
+    EXPECT_EQ(got.bg_best_ratio, want.bg_best_ratio);
+    EXPECT_EQ(got.bg_mean_ratio, want.bg_mean_ratio);
+    EXPECT_EQ(got.best_decisions, want.best_decisions);
+}
+
+TEST(FlowService, ServesJobsBitIdenticalToSequentialFlow) {
+    const auto jobs = tiny_jobs();
+    const auto model =
+        std::make_shared<const BoolGebraModel>(tiny_config());
+
+    std::vector<FlowResult> reference;
+    for (const auto& job : jobs) {
+        reference.push_back(run_flow(job.design, *model, tiny_flow()));
+    }
+
+    FlowService service(tiny_service(), model);
+    auto futures = service.submit_batch(tiny_jobs());
+    ASSERT_EQ(futures.size(), jobs.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        const auto got = futures[i].get();
+        EXPECT_EQ(got.name, jobs[i].name);
+        expect_same_flow(got.flow, reference[i]);
+    }
+}
+
+TEST(FlowService, HotSwapMidStreamBindsSnapshotAtSubmit) {
+    const auto jobs = tiny_jobs();
+    const auto model_a =
+        std::make_shared<const BoolGebraModel>(tiny_config(21));
+    const auto model_b =
+        std::make_shared<const BoolGebraModel>(tiny_config(9177));
+
+    std::vector<FlowResult> ref_a;
+    std::vector<FlowResult> ref_b;
+    for (const auto& job : jobs) {
+        ref_a.push_back(run_flow(job.design, *model_a, tiny_flow()));
+        ref_b.push_back(run_flow(job.design, *model_b, tiny_flow()));
+    }
+
+    FlowService service(tiny_service(), model_a);
+    // First wave on A; swap while those jobs are (potentially) in flight;
+    // second wave on B.  Every job must finish on the snapshot it was
+    // bound to at submit time.
+    auto wave_a = service.submit_batch(tiny_jobs());
+    service.swap_model(model_b);
+    auto wave_b = service.submit_batch(tiny_jobs());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        expect_same_flow(wave_a[i].get().flow, ref_a[i]);
+        expect_same_flow(wave_b[i].get().flow, ref_b[i]);
+    }
+    const auto st = service.stats();
+    EXPECT_EQ(st.model_swaps, 1u);
+    EXPECT_EQ(st.jobs_completed, 2 * jobs.size());
+    EXPECT_EQ(service.model_snapshot(), model_b);
+}
+
+TEST(FlowService, DrainUnderConcurrentProducers) {
+    const auto model =
+        std::make_shared<const BoolGebraModel>(tiny_config());
+    FlowService service(tiny_service(), model);
+
+    constexpr std::size_t kProducers = 3;
+    constexpr std::size_t kJobsEach = 4;
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&service, p] {
+            const auto design =
+                bg::circuits::make_benchmark_scaled("b09", 0.3);
+            for (std::size_t j = 0; j < kJobsEach; ++j) {
+                (void)service.submit(
+                    {"p" + std::to_string(p) + "-" + std::to_string(j),
+                     design});
+            }
+        });
+    }
+    for (auto& t : producers) {
+        t.join();
+    }
+    service.drain();
+
+    const auto st = service.stats();
+    EXPECT_EQ(st.jobs_submitted, kProducers * kJobsEach);
+    EXPECT_EQ(st.jobs_completed, kProducers * kJobsEach);
+    EXPECT_EQ(st.jobs_pending, 0u);
+    EXPECT_EQ(st.samples_run,
+              kProducers * kJobsEach * tiny_flow().num_samples);
+    EXPECT_GT(st.p50_latency_seconds, 0.0);
+    EXPECT_GE(st.p95_latency_seconds, st.p50_latency_seconds);
+    EXPECT_GT(st.samples_per_second, 0.0);
+}
+
+TEST(FlowService, StopRejectsNewSubmissions) {
+    const auto model =
+        std::make_shared<const BoolGebraModel>(tiny_config());
+    FlowService service(tiny_service(1), model);
+    auto fut =
+        service.submit({"b09", bg::circuits::make_benchmark_scaled("b09", 0.3)});
+    service.stop();
+    EXPECT_FALSE(service.accepting());
+    (void)fut.get();  // submitted-before-stop job still completes
+    EXPECT_THROW(
+        (void)service.submit(
+            {"b09", bg::circuits::make_benchmark_scaled("b09", 0.3)}),
+        std::runtime_error);
+    EXPECT_EQ(service.stats().jobs_completed, 1u);
+}
+
+TEST(FlowService, SubmitWithoutModelThrows) {
+    FlowService service(tiny_service(1));
+    EXPECT_THROW(
+        (void)service.submit(
+            {"b09", bg::circuits::make_benchmark_scaled("b09", 0.3)}),
+        std::invalid_argument);
+}
+
+// The soundness core of the shared-snapshot design: eval-mode inference
+// is genuinely const, so two threads running the flow on ONE model
+// instance produce the sequential results bit for bit (and TSan-clean).
+TEST(FlowService, SharedModelConcurrentInferenceMatchesSequential) {
+    const auto design = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    const BoolGebraModel model{tiny_config()};
+    const FlowResult want = run_flow(design, model, tiny_flow());
+
+    FlowResult got_a;
+    FlowResult got_b;
+    std::thread ta([&] { got_a = run_flow(design, model, tiny_flow()); });
+    std::thread tb([&] { got_b = run_flow(design, model, tiny_flow()); });
+    ta.join();
+    tb.join();
+    expect_same_flow(got_a, want);
+    expect_same_flow(got_b, want);
+}
+
+}  // namespace
