@@ -168,6 +168,34 @@ void BM_StaticFeatures(benchmark::State& state) {
 }
 BENCHMARK(BM_StaticFeatures);
 
+void BM_MeanAggregate(benchmark::State& state) {
+    // The GraphSAGE neighbor aggregation — the next-largest inference
+    // cost after the blocked GEMMs.  Arg(0)=1 runs the fast path with the
+    // CSR's precomputed 1/deg (what FlowContext-cached CSRs provide);
+    // Arg(0)=0 strips it to measure the per-call-division fallback.
+    auto g = design();
+    auto csr = bg::core::build_csr(g);
+    if (state.range(0) == 0) {
+        csr.inv_deg.clear();
+    }
+    constexpr std::size_t batch = 8;
+    constexpr std::size_t feat = 48;  // quick-mode hidden width
+    bg::Rng rng(6);
+    bg::nn::Matrix x(batch * csr.num_nodes(), feat);
+    for (auto& v : x.data()) {
+        v = rng.next_float();
+    }
+    bg::nn::Matrix h;
+    for (auto _ : state) {
+        bg::nn::mean_aggregate(x, csr, batch, h);
+        benchmark::DoNotOptimize(h.data().data());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(batch * csr.neighbors.size() * feat));
+}
+BENCHMARK(BM_MeanAggregate)->Arg(0)->Arg(1);
+
 void BM_SageForward(benchmark::State& state) {
     const auto g = design();
     const auto csr = bg::core::build_csr(g);

@@ -8,10 +8,12 @@
 ///   sample   <design> [-n N] [--guided] [--seed S] [--save-best best.csv]
 ///   flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]
 ///            [--workers W] [--scale S] [--seed S] [--model weights.bin]
-///            [--random]
+///            [--random] [--objective size|depth|luts[:K]|weighted:a,b]
 ///            batched GNN-guided flow over one or many designs; design
 ///            arguments may be registry globs (e.g. 'b1*'); --random
-///            replaces priority-guided sampling with uniform sampling
+///            replaces priority-guided sampling with uniform sampling;
+///            --objective picks the cost model candidates are ranked and
+///            committed under (default size = AND count)
 ///   serve    <design...>|--all [flow flags] [--repeat N]
 ///            [--swap-model weights.bin|fresh] [--swap-after N]
 ///            long-lived FlowService demo: submits every design (repeated
@@ -46,6 +48,7 @@
 #include "io/bench.hpp"
 #include "opt/balance.hpp"
 #include "opt/lut_map.hpp"
+#include "opt/objective.hpp"
 #include "opt/orchestrate.hpp"
 #include "opt/standalone.hpp"
 #include "sat/cec_sat.hpp"
@@ -64,7 +67,7 @@ int usage() {
         "  sample   <design> [-n N] [--guided] [--seed S] [--save-best f]\n"
         "  flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]\n"
         "           [--workers W] [--scale S] [--seed S] [--model f]\n"
-        "           [--random]\n"
+        "           [--random] [--objective size|depth|luts[:K]|weighted:a,b]\n"
         "  serve    <design...>|--all [flow flags] [--repeat N]\n"
         "           [--swap-model f|fresh] [--swap-after N]\n"
         "  apply    <design> --decisions d.csv [-o out]\n"
@@ -227,9 +230,14 @@ FlowArgs parse_flow_args(std::vector<std::string>& args) {
     const auto workers_arg = flag_value(args, "--workers");
     const auto scale_arg = flag_value(args, "--scale");
     const auto seed_arg = flag_value(args, "--seed");
+    const auto objective_arg = flag_value(args, "--objective");
     out.model_path = flag_value(args, "--model");
     out.all = flag_present(args, "--all");
     const bool random = flag_present(args, "--random");
+
+    if (objective_arg) {
+        out.cfg.flow.objective = bg::opt::make_objective(*objective_arg);
+    }
 
     out.cfg.flow.num_samples =
         samples_arg
@@ -313,25 +321,36 @@ int cmd_flow(std::vector<std::string> args) {
     bg::core::FlowEngine engine(parsed.cfg);
     const auto batch = engine.run(*jobs, model);
 
-    bg::TablePrinter table({"design", "ands", "BG-Mean", "BG-Best", "final",
-                            "rounds", "sec"});
+    // Size ratios (Table I), then the per-metric companions: D-* = depth
+    // ratios, V-Best = the configured objective's scalar ratio.
+    bg::TablePrinter table({"design", "ands", "depth", "BG-Mean", "BG-Best",
+                            "D-Best", "V-Best", "final", "D-final", "rounds",
+                            "sec"});
     for (const auto& d : batch.designs) {
         table.add_row({d.name, std::to_string(d.original_size),
+                       std::to_string(d.flow.original_depth),
                        bg::TablePrinter::fmt(d.flow.bg_mean_ratio),
                        bg::TablePrinter::fmt(d.flow.bg_best_ratio),
+                       bg::TablePrinter::fmt(d.flow.bg_best_depth_ratio),
+                       bg::TablePrinter::fmt(d.flow.bg_best_value_ratio),
                        bg::TablePrinter::fmt(d.iterated.final_ratio),
+                       bg::TablePrinter::fmt(d.iterated.final_depth_ratio),
                        std::to_string(d.iterated.rounds()),
                        bg::TablePrinter::fmt(d.seconds, 2)});
     }
-    table.add_row({"Avg.", "-",
+    table.add_row({"Avg.", "-", "-",
                    bg::TablePrinter::fmt(batch.avg_bg_mean_ratio),
                    bg::TablePrinter::fmt(batch.avg_bg_best_ratio),
-                   bg::TablePrinter::fmt(batch.avg_final_ratio), "-", "-"});
+                   bg::TablePrinter::fmt(batch.avg_bg_best_depth_ratio),
+                   bg::TablePrinter::fmt(batch.avg_bg_best_value_ratio),
+                   bg::TablePrinter::fmt(batch.avg_final_ratio),
+                   bg::TablePrinter::fmt(batch.avg_final_depth_ratio), "-",
+                   "-"});
     table.print();
-    std::printf("\n%zu designs, %zu samples in %.2fs on %zu workers "
-                "(%.2f designs/s, %.1f samples/s)\n",
-                batch.designs.size(), batch.total_samples,
-                batch.total_seconds, engine.workers(),
+    std::printf("\nobjective %s: %zu designs, %zu samples in %.2fs on %zu "
+                "workers (%.2f designs/s, %.1f samples/s)\n",
+                batch.objective.c_str(), batch.designs.size(),
+                batch.total_samples, batch.total_seconds, engine.workers(),
                 batch.designs_per_second, batch.samples_per_second);
     return 0;
 }
@@ -399,13 +418,15 @@ int cmd_serve(std::vector<std::string> args) {
         }
     }
 
-    bg::TablePrinter table(
-        {"job", "design", "ands", "BG-Best", "final", "sec"});
+    bg::TablePrinter table({"job", "design", "ands", "BG-Best", "D-Best",
+                            "V-Best", "final", "sec"});
     for (std::size_t i = 0; i < futures.size(); ++i) {
         const auto d = futures[i].get();
         table.add_row({std::to_string(i), d.name,
                        std::to_string(d.original_size),
                        bg::TablePrinter::fmt(d.flow.bg_best_ratio),
+                       bg::TablePrinter::fmt(d.flow.bg_best_depth_ratio),
+                       bg::TablePrinter::fmt(d.flow.bg_best_value_ratio),
                        bg::TablePrinter::fmt(d.iterated.final_ratio),
                        bg::TablePrinter::fmt(d.seconds, 2)});
     }
@@ -413,7 +434,9 @@ int cmd_serve(std::vector<std::string> args) {
     table.print();
 
     const auto st = service.stats();
-    std::printf("\nserved %llu/%llu jobs in %.2fs uptime "
+    std::printf("\nobjective %s\n",
+                bg::core::flow_objective(scfg.flow).name().c_str());
+    std::printf("served %llu/%llu jobs in %.2fs uptime "
                 "(%.2f jobs/s, %.1f samples/s, %llu samples)\n",
                 static_cast<unsigned long long>(st.jobs_completed),
                 static_cast<unsigned long long>(st.jobs_submitted),

@@ -178,6 +178,22 @@ std::uint32_t Aig::depth() {
     return d;
 }
 
+std::uint32_t Aig::depth() const {
+    std::vector<std::uint32_t> levels(nodes_.size(), 0);
+    for (const Var v : topo_all()) {
+        const auto& n = nodes_[v];
+        if (n.is_and()) {
+            levels[v] = 1 + std::max(levels[lit_var(n.fanin0)],
+                                     levels[lit_var(n.fanin1)]);
+        }
+    }
+    std::uint32_t d = 0;
+    for (const Lit po : pos_) {
+        d = std::max(d, levels[lit_var(po)]);
+    }
+    return d;
+}
+
 std::vector<Var> Aig::topo_all() const {
     // Kahn's algorithm over live nodes; const and PIs lead.
     std::vector<Var> order;

@@ -116,6 +116,9 @@ public:
     std::uint32_t level(Var v) const { return nodes_[v].level; }
     /// Longest PI-to-PO path in AND nodes; calls update_levels().
     std::uint32_t depth();
+    /// Same metric without touching the cached levels — usable on shared
+    /// read-only graphs (cost models measure const Aigs concurrently).
+    std::uint32_t depth() const;
 
     // -- traversal ---------------------------------------------------------
 

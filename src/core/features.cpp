@@ -13,6 +13,7 @@ using opt::OpKind;
 
 StaticFeatures compute_static_features(const Aig& g,
                                        const opt::OptParams& params) {
+    params.validate();
     StaticFeatures rows(g.num_slots());
     // The three checks are read-only, so per-node work parallelizes.
     bg::parallel_for(g.num_slots(), [&](std::size_t i) {
@@ -29,8 +30,12 @@ StaticFeatures compute_static_features(const Aig& g,
         for (int k = 0; k < 3; ++k) {
             const auto res = opt::check_op(g, v, ops[k], params);
             row[2 + 2 * k] = res.applicable ? 1.0F : 0.0F;
+            // The embedded local gain stays the size delta under every
+            // objective: feature semantics (and trained weights) must not
+            // depend on the flow's cost model.
             row[3 + 2 * k] =
-                res.applicable ? static_cast<float>(res.gain) : -1.0F;
+                res.applicable ? static_cast<float>(res.gain.size_delta)
+                               : -1.0F;
         }
     });
     return rows;
@@ -130,6 +135,7 @@ GraphCsr build_csr(const Aig& g) {
                 static_cast<std::int32_t>(v);
         }
     }
+    csr.build_inv_deg();
     return csr;
 }
 

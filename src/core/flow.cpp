@@ -58,6 +58,10 @@ std::vector<DecisionVector> generate_decisions(const Aig& design,
     return out;
 }
 
+const opt::Objective& flow_objective(const FlowConfig& cfg) {
+    return cfg.objective != nullptr ? *cfg.objective : opt::size_objective();
+}
+
 FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                     const FlowConfig& cfg) {
     return run_flow(design, model, cfg, FlowContext{});
@@ -67,8 +71,13 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                     const FlowConfig& cfg, const FlowContext& ctx) {
     BG_EXPECTS(cfg.num_samples > 0 && cfg.top_k > 0,
                "flow needs samples and a positive top-k");
+    cfg.opt.validate();
+    const opt::Objective& obj = flow_objective(cfg);
     FlowResult res;
     res.original_size = design.num_ands();
+    res.objective = obj.name();
+    res.original_cost = obj.measure(design);  // runs lut_map for `luts`
+    res.original_depth = res.original_cost.depth;
 
     const auto pfor = [&ctx](std::size_t n, auto&& f) {
         if (ctx.pool != nullptr) {
@@ -124,30 +133,67 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                         order.begin() + static_cast<std::ptrdiff_t>(k));
 
     std::vector<SampleRecord> evaluated(k);
+    std::vector<opt::CostVector> costs(k);
     pfor(k, [&](std::size_t i) {
+        Aig optimized;
+        const bool keep_graph = obj.needs_graph();
         evaluated[i] =
-            evaluate_decisions(design, decisions[res.selected[i]], cfg.opt);
+            evaluate_decisions(design, decisions[res.selected[i]], cfg.opt,
+                               obj, keep_graph ? &optimized : nullptr);
+        const auto& rec = evaluated[i];
+        costs[i] = keep_graph
+                       ? obj.measure(optimized)
+                       : opt::CostVector{
+                             obj.scalar(rec.final_size, rec.final_depth),
+                             rec.final_size, rec.final_depth};
     });
     double sum_ratio = 0.0;
     double sum_reduction = 0.0;
+    double sum_depth_ratio = 0.0;
+    double sum_value_ratio = 0.0;
+    std::size_t best_idx = k;  // none yet; the first candidate claims it
     for (std::size_t i = 0; i < evaluated.size(); ++i) {
         const auto& rec = evaluated[i];
         res.reductions.push_back(rec.reduction);
-        if (rec.reduction > res.best_reduction ||
-            res.best_decisions.empty()) {
-            res.best_reduction = std::max(res.best_reduction, rec.reduction);
-            res.best_decisions = decisions[res.selected[i]];
+        res.costs.push_back(costs[i]);
+        // First strictly-better wins, so ties keep prediction order —
+        // under size this reproduces the pre-objective "max reduction,
+        // first index" selection exactly.
+        if (best_idx == k || obj.better(costs[i], costs[best_idx])) {
+            best_idx = i;
         }
         sum_reduction += rec.reduction;
         sum_ratio += static_cast<double>(rec.final_size) /
                      static_cast<double>(res.original_size);
+        sum_depth_ratio += res.original_depth != 0
+                               ? static_cast<double>(rec.final_depth) /
+                                     static_cast<double>(res.original_depth)
+                               : 1.0;
+        sum_value_ratio += res.original_cost.value > 0.0
+                               ? costs[i].value / res.original_cost.value
+                               : 1.0;
     }
+    res.best_cost = costs[best_idx];
+    res.best_decisions = evaluated[best_idx].decisions;
+    res.best_reduction =
+        std::max(evaluated[best_idx].reduction, res.best_reduction);
     res.mean_reduction = sum_reduction / static_cast<double>(k);
     res.bg_mean_ratio = sum_ratio / static_cast<double>(k);
     res.bg_best_ratio =
         static_cast<double>(static_cast<int>(res.original_size) -
                             res.best_reduction) /
         static_cast<double>(res.original_size);
+    res.bg_mean_depth_ratio = sum_depth_ratio / static_cast<double>(k);
+    res.bg_best_depth_ratio =
+        res.original_depth != 0
+            ? static_cast<double>(res.best_cost.depth) /
+                  static_cast<double>(res.original_depth)
+            : 1.0;
+    res.bg_mean_value_ratio = sum_value_ratio / static_cast<double>(k);
+    res.bg_best_value_ratio = res.original_cost.value > 0.0
+                                  ? res.best_cost.value /
+                                        res.original_cost.value
+                                  : 1.0;
     return res;
 }
 
@@ -157,8 +203,10 @@ IteratedFlowResult run_iterated_flow(const Aig& design,
                                      std::size_t max_rounds,
                                      ThreadPool* pool) {
     BG_EXPECTS(max_rounds >= 1, "need at least one round");
+    const opt::Objective& obj = flow_objective(cfg);
     IteratedFlowResult out;
     out.original_size = design.num_ands();
+    out.original_depth = design.depth();
     Aig current = design;
     FlowConfig round_cfg = cfg;
     FlowContext ctx;
@@ -166,18 +214,28 @@ IteratedFlowResult run_iterated_flow(const Aig& design,
     for (std::size_t round = 0; round < max_rounds; ++round) {
         round_cfg.seed = cfg.seed + round;  // fresh samples per round
         const auto flow = run_flow(current, model, round_cfg, ctx);
-        if (flow.best_reduction <= 0 || flow.best_decisions.empty()) {
+        // Stop when the round's objective-best does not strictly improve
+        // on the round's entry cost (under size: best_reduction <= 0,
+        // exactly the pre-objective stop).
+        if (flow.best_decisions.empty() ||
+            !obj.better(flow.best_cost, flow.original_cost)) {
             break;
         }
         // Commit the winning decision vector.
         auto decisions = flow.best_decisions;
-        (void)opt::orchestrate(current, decisions, round_cfg.opt);
+        (void)opt::orchestrate(current, decisions, round_cfg.opt, obj);
         current = current.compact();
         out.per_round_reduction.push_back(flow.best_reduction);
     }
     out.final_size = current.num_ands();
+    out.final_depth = current.depth();
     out.final_ratio = static_cast<double>(out.final_size) /
                       static_cast<double>(out.original_size);
+    out.final_depth_ratio =
+        out.original_depth != 0
+            ? static_cast<double>(out.final_depth) /
+                  static_cast<double>(out.original_depth)
+            : 1.0;
     return out;
 }
 

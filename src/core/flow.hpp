@@ -14,6 +14,7 @@
 #include "core/dataset.hpp"
 #include "core/model.hpp"
 #include "core/sampling.hpp"
+#include "opt/objective.hpp"
 #include "util/parallel.hpp"
 
 namespace bg::core {
@@ -25,7 +26,15 @@ struct FlowConfig {
     std::uint64_t seed = 1;
     opt::OptParams opt;
     FeatureConfig features;
+    /// Cost model ranking the evaluated candidates and gating their
+    /// orchestration (shared read-only across concurrent flows).  Null
+    /// means size — the paper's metric and the pre-objective behavior,
+    /// bit-identical to it.
+    opt::ObjectivePtr objective;
 };
+
+/// The objective a config resolves to (size when unset).
+const opt::Objective& flow_objective(const FlowConfig& cfg);
 
 /// Extension beyond the paper's single-shot flow: run the flow, commit
 /// the best decision vector, and repeat on the optimized graph.  Ratios
@@ -33,14 +42,22 @@ struct FlowConfig {
 struct IteratedFlowResult {
     std::size_t original_size = 0;
     std::size_t final_size = 0;
+    std::uint32_t original_depth = 0;
+    std::uint32_t final_depth = 0;
     std::vector<int> per_round_reduction;
     double final_ratio = 1.0;
+    double final_depth_ratio = 1.0;
 
     std::size_t rounds() const { return per_round_reduction.size(); }
 };
 
 struct FlowResult {
     std::size_t original_size = 0;
+    std::uint32_t original_depth = 0;
+    /// Objective used for ranking ("size" unless configured otherwise)
+    /// and the original graph's measurement under it.
+    std::string objective = "size";
+    opt::CostVector original_cost;
     /// Decision vectors actually scored by the predictor in this run —
     /// measured, not the configured budget, so throughput accounting
     /// downstream (FlowEngine/FlowService samples/s) reports real work.
@@ -51,13 +68,25 @@ struct FlowResult {
     std::vector<std::size_t> selected;
     /// Exact reductions of the evaluated top-k, same order as `selected`.
     std::vector<int> reductions;
+    /// Exact per-candidate measurements, same order as `selected`.
+    std::vector<opt::CostVector> costs;
 
+    /// Size reduction of the objective-best candidate (under the default
+    /// size objective: the best size reduction, as before the redesign).
     int best_reduction = 0;
     double mean_reduction = 0.0;
+    /// Measurement of the objective-best candidate.
+    opt::CostVector best_cost;
     /// Optimized/original size ratios — the numbers Table I reports.
     double bg_best_ratio = 1.0;
     double bg_mean_ratio = 1.0;
-    /// The decision vector achieving best_reduction (for committing).
+    /// Per-metric companions: depth and objective-scalar ratios of the
+    /// same evaluated top-k ("best" is always the objective-best).
+    double bg_best_depth_ratio = 1.0;
+    double bg_mean_depth_ratio = 1.0;
+    double bg_best_value_ratio = 1.0;
+    double bg_mean_value_ratio = 1.0;
+    /// The objective-best decision vector (for committing).
     opt::DecisionVector best_decisions;
 };
 

@@ -16,6 +16,7 @@ DesignFlowResult run_design_flow(const DesignJob& job,
                                  const FlowConfig& flow_cfg,
                                  std::size_t rounds, ThreadPool* pool) {
     BG_EXPECTS(rounds >= 1, "a design flow needs at least one round");
+    const opt::Objective& obj = flow_objective(flow_cfg);
     DesignFlowResult res;
     res.name = job.name;
     res.original_size = job.design.num_ands();
@@ -36,10 +37,14 @@ DesignFlowResult run_design_flow(const DesignJob& job,
         ctx.pool = pool;
         const FlowResult flow = run_flow(current, model, round_cfg, ctx);
         res.samples_run += flow.samples_evaluated;
+        // Productive = the objective-best strictly improves on the round's
+        // entry cost (under size: best_reduction > 0, as before).
         const bool productive =
-            flow.best_reduction > 0 && !flow.best_decisions.empty();
+            !flow.best_decisions.empty() &&
+            obj.better(flow.best_cost, flow.original_cost);
         if (round == 0) {
             res.flow = flow;
+            res.iterated.original_depth = flow.original_depth;
         }
         if (!productive) {
             break;
@@ -49,20 +54,29 @@ DesignFlowResult run_design_flow(const DesignJob& job,
             break;  // single-shot: nothing is committed
         }
         auto decisions = flow.best_decisions;
-        (void)opt::orchestrate(current, decisions, round_cfg.opt);
+        (void)opt::orchestrate(current, decisions, round_cfg.opt, obj);
         current = current.compact();
     }
     if (rounds == 1) {
-        // Final size is the best evaluated candidate's (uncommitted).
+        // Final size/depth are the best evaluated candidate's
+        // (uncommitted).
         res.iterated.final_size =
             res.original_size -
             static_cast<std::size_t>(std::max(res.flow.best_reduction, 0));
         res.iterated.final_ratio = res.flow.bg_best_ratio;
+        res.iterated.final_depth = res.flow.best_cost.depth;
+        res.iterated.final_depth_ratio = res.flow.bg_best_depth_ratio;
     } else {
         res.iterated.final_size = current.num_ands();
         res.iterated.final_ratio =
             static_cast<double>(res.iterated.final_size) /
             static_cast<double>(res.iterated.original_size);
+        res.iterated.final_depth = current.depth();
+        res.iterated.final_depth_ratio =
+            res.iterated.original_depth != 0
+                ? static_cast<double>(res.iterated.final_depth) /
+                      static_cast<double>(res.iterated.original_depth)
+                : 1.0;
     }
     res.seconds = watch.seconds();
     return res;
@@ -114,21 +128,31 @@ BatchFlowResult FlowEngine::run(std::span<const DesignJob> jobs,
     }
     service_->swap_model(nullptr);
     out.total_seconds = watch.seconds();
+    out.objective = flow_objective(cfg_.flow).name();
 
     if (!out.designs.empty()) {
         double best = 0.0;
         double mean = 0.0;
         double final_r = 0.0;
+        double best_depth = 0.0;
+        double best_value = 0.0;
+        double final_depth = 0.0;
         for (const auto& d : out.designs) {
             best += d.flow.bg_best_ratio;
             mean += d.flow.bg_mean_ratio;
             final_r += d.iterated.final_ratio;
+            best_depth += d.flow.bg_best_depth_ratio;
+            best_value += d.flow.bg_best_value_ratio;
+            final_depth += d.iterated.final_depth_ratio;
             out.total_samples += d.samples_run;
         }
         const auto n = static_cast<double>(out.designs.size());
         out.avg_bg_best_ratio = best / n;
         out.avg_bg_mean_ratio = mean / n;
         out.avg_final_ratio = final_r / n;
+        out.avg_bg_best_depth_ratio = best_depth / n;
+        out.avg_bg_best_value_ratio = best_value / n;
+        out.avg_final_depth_ratio = final_depth / n;
     }
     if (out.total_seconds > 0.0) {
         out.designs_per_second =

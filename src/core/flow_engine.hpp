@@ -66,10 +66,16 @@ struct DesignFlowResult {
 
 struct BatchFlowResult {
     std::vector<DesignFlowResult> designs;
+    /// Objective the whole batch ranked under ("size" by default).
+    std::string objective = "size";
     /// Arithmetic means of the per-design ratios (Table I "Avg." row).
     double avg_bg_best_ratio = 1.0;
     double avg_bg_mean_ratio = 1.0;
     double avg_final_ratio = 1.0;
+    /// Per-metric companions under the configured objective.
+    double avg_bg_best_depth_ratio = 1.0;
+    double avg_bg_best_value_ratio = 1.0;
+    double avg_final_depth_ratio = 1.0;
     std::size_t total_samples = 0;
     double total_seconds = 0.0;
     double designs_per_second = 0.0;

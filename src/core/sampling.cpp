@@ -72,14 +72,21 @@ DecisionVector mutate_decisions(const Aig& g, const DecisionVector& base,
 }
 
 SampleRecord evaluate_decisions(const Aig& design, DecisionVector decisions,
-                                const opt::OptParams& params) {
+                                const opt::OptParams& params,
+                                const opt::Objective& objective,
+                                Aig* optimized_out) {
     Aig copy = design;
-    const auto res = opt::orchestrate(copy, decisions, params);
+    const auto res = opt::orchestrate(copy, decisions, params, objective);
     SampleRecord rec;
     rec.decisions = std::move(decisions);
     rec.applied = res.applied;
     rec.reduction = res.reduction();
+    rec.depth_reduction = res.depth_reduction();
     rec.final_size = res.final_size;
+    rec.final_depth = res.final_depth;
+    if (optimized_out != nullptr) {
+        *optimized_out = std::move(copy);
+    }
     return rec;
 }
 

@@ -26,7 +26,9 @@ struct SampleRecord {
     opt::DecisionVector decisions;       ///< input assignment D
     std::vector<opt::OpKind> applied;    ///< ops actually applied per var
     int reduction = 0;                   ///< AND nodes removed
+    int depth_reduction = 0;             ///< levels removed
     std::size_t final_size = 0;
+    std::uint32_t final_depth = 0;
 };
 
 /// Uniformly random decisions on the AND nodes (None elsewhere).
@@ -43,10 +45,16 @@ opt::DecisionVector mutate_decisions(const aig::Aig& g,
                                      const opt::DecisionVector& base,
                                      double fraction, bg::Rng& rng);
 
-/// Run Algorithm 1 on a copy of `design` and record the outcome.
+/// Run Algorithm 1 on a copy of `design` and record the outcome.  The
+/// orchestration commits under `objective` (default size, the paper's
+/// behavior); `optimized_out`, when given, receives the optimized copy so
+/// graph-needing objectives can measure it before it is discarded.
 SampleRecord evaluate_decisions(const aig::Aig& design,
                                 opt::DecisionVector decisions,
-                                const opt::OptParams& params = {});
+                                const opt::OptParams& params = {},
+                                const opt::Objective& objective =
+                                    opt::size_objective(),
+                                aig::Aig* optimized_out = nullptr);
 
 /// N purely random samples (Fig 2 "Random").
 std::vector<SampleRecord> generate_random_samples(

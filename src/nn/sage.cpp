@@ -4,33 +4,55 @@
 
 namespace bg::nn {
 
+void Csr::build_inv_deg() {
+    const std::size_t n = num_nodes();
+    inv_deg.assign(n, 0.0F);
+    for (std::size_t v = 0; v < n; ++v) {
+        const auto deg = degree(v);
+        if (deg != 0) {
+            // Exactly the expression the aggregation fallback uses, so the
+            // cached and on-the-fly paths stay bit-identical.
+            inv_deg[v] = 1.0F / static_cast<float>(deg);
+        }
+    }
+}
+
 void mean_aggregate(ConstMatrixView x, const Csr& csr, std::size_t batch,
                     Matrix& h) {
     const std::size_t n = csr.num_nodes();
     BG_EXPECTS(x.rows() == batch * n, "feature rows must be batch * nodes");
     const std::size_t f = x.cols();
-    if (h.rows() == x.rows() && h.cols() == f) {
-        h.fill(0.0F);
-    } else {
+    if (!(h.rows() == x.rows() && h.cols() == f)) {
         h = Matrix(x.rows(), f);
     }
+    // Raw pointers: by-value view structs defeat vectorization of the
+    // accumulation loop (see the GEMM kernels in matrix.cpp), and rows are
+    // touched exactly once each, so no whole-matrix zero fill is needed.
+    const std::int32_t* offsets = csr.offsets.data();
+    const std::int32_t* neighbors = csr.neighbors.data();
+    const float* inv_deg =
+        csr.inv_deg.size() == n ? csr.inv_deg.data() : nullptr;
     for (std::size_t b = 0; b < batch; ++b) {
         const std::size_t base = b * n;
         for (std::size_t i = 0; i < n; ++i) {
-            const auto deg = csr.degree(i);
-            if (deg == 0) {
+            float* hi = h.row(base + i);
+            std::fill(hi, hi + f, 0.0F);
+            const auto beg = offsets[i];
+            const auto end = offsets[i + 1];
+            if (beg == end) {
                 continue;
             }
-            float* hi = h.row(base + i);
-            for (auto e = csr.offsets[i]; e < csr.offsets[i + 1]; ++e) {
+            for (auto e = beg; e < end; ++e) {
                 const float* xj =
-                    x.row(base + static_cast<std::size_t>(csr.neighbors[
-                                     static_cast<std::size_t>(e)]));
+                    x.row(base + static_cast<std::size_t>(
+                                     neighbors[static_cast<std::size_t>(e)]));
                 for (std::size_t c = 0; c < f; ++c) {
                     hi[c] += xj[c];
                 }
             }
-            const float inv = 1.0F / static_cast<float>(deg);
+            const float inv = inv_deg != nullptr
+                                  ? inv_deg[i]
+                                  : 1.0F / static_cast<float>(end - beg);
             for (std::size_t c = 0; c < f; ++c) {
                 hi[c] *= inv;
             }

@@ -18,11 +18,18 @@ namespace bg::nn {
 struct Csr {
     std::vector<std::int32_t> offsets;    ///< size num_nodes + 1
     std::vector<std::int32_t> neighbors;  ///< size 2 * |edges|
+    /// Precomputed 1/degree per node (0 for isolated nodes), filled by
+    /// build_inv_deg().  mean_aggregate takes its fast path when present
+    /// — one division per node per design instead of per inference call —
+    /// and falls back to dividing on the fly (bit-identical) when empty,
+    /// so hand-built CSRs keep working.
+    std::vector<float> inv_deg;
 
     std::size_t num_nodes() const { return offsets.size() - 1; }
     std::size_t degree(std::size_t v) const {
         return static_cast<std::size_t>(offsets[v + 1] - offsets[v]);
     }
+    void build_inv_deg();
 };
 
 /// y_i = x_i W_self + mean_{j in N(i)} x_j W_neigh + b

@@ -1,0 +1,100 @@
+#include "opt/objective.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bg::opt {
+
+CostVector Objective::measure(const aig::Aig& g) const {
+    CostVector c;
+    c.size = g.num_ands();
+    c.depth = g.depth();
+    c.value = scalar(c.size, c.depth);
+    return c;
+}
+
+CostVector MappedLutObjective::measure(const aig::Aig& g) const {
+    CostVector c;
+    c.size = g.num_ands();
+    c.depth = g.depth();
+    c.value = static_cast<double>(map_to_luts(g, params_).num_luts());
+    return c;
+}
+
+WeightedObjective::WeightedObjective(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+    if (alpha < 0.0 || beta < 0.0 || (alpha == 0.0 && beta == 0.0)) {
+        throw std::invalid_argument(
+            "weighted objective needs alpha, beta >= 0 and not both zero");
+    }
+}
+
+std::string WeightedObjective::name() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "weighted:%g,%g", alpha_, beta_);
+    return buf;
+}
+
+const Objective& size_objective() {
+    static const SizeObjective obj;
+    return obj;
+}
+
+namespace {
+
+double parse_number(const std::string& s) {
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(s, &used);
+    } catch (const std::exception&) {
+        used = 0;
+    }
+    if (s.empty() || used != s.size()) {
+        throw std::invalid_argument("objective spec: bad number '" + s + "'");
+    }
+    return v;
+}
+
+}  // namespace
+
+ObjectivePtr make_objective(const std::string& spec) {
+    if (spec == "size") {
+        return std::make_shared<SizeObjective>();
+    }
+    if (spec == "depth") {
+        return std::make_shared<DepthObjective>();
+    }
+    if (spec == "luts") {
+        return std::make_shared<MappedLutObjective>();
+    }
+    if (spec.starts_with("luts:")) {
+        // The bound mirrors map_to_luts' own contract so a bad K fails
+        // here, at spec-parse time, not inside the first flow.
+        const double k = parse_number(spec.substr(5));
+        if (k < 2.0 || k > 8.0 || k != static_cast<unsigned>(k)) {
+            throw std::invalid_argument(
+                "objective spec: LUT K must be an integer in [2, 8]");
+        }
+        LutMapParams p;
+        p.k = static_cast<unsigned>(k);
+        return std::make_shared<MappedLutObjective>(p);
+    }
+    if (spec.starts_with("weighted:")) {
+        const std::string rest = spec.substr(9);
+        const auto comma = rest.find(',');
+        if (comma == std::string::npos) {
+            throw std::invalid_argument(
+                "objective spec: weighted needs 'weighted:alpha,beta'");
+        }
+        return std::make_shared<WeightedObjective>(
+            parse_number(rest.substr(0, comma)),
+            parse_number(rest.substr(comma + 1)));
+    }
+    throw std::invalid_argument(
+        "unknown objective '" + spec +
+        "' (use size | depth | luts[:K] | weighted:alpha,beta)");
+}
+
+}  // namespace bg::opt

@@ -9,13 +9,20 @@ using aig::Aig;
 using aig::Var;
 
 OrchestrationResult orchestrate(Aig& g, std::span<const OpKind> decisions,
-                                const OptParams& params) {
+                                const OptParams& params,
+                                const Objective& objective) {
     BG_EXPECTS(decisions.size() >= g.num_slots(),
                "decision vector must cover every var id");
+    params.validate();
     OrchestrationResult res;
     res.original_size = g.num_ands();
-    res.original_depth = g.depth();
+    res.original_depth = g.depth();  // freshens levels as a side effect
     res.applied.assign(g.num_slots(), OpKind::None);
+
+    // Depth-aware objectives read each check's local depth delta, which is
+    // only meaningful against fresh levels; refresh lazily after applies.
+    const bool track_levels = objective.needs_depth();
+    bool levels_stale = false;
 
     // Snapshot the traversal order; nodes created by transformations get
     // higher ids and are deliberately not revisited in this pass.
@@ -29,11 +36,20 @@ OrchestrationResult orchestrate(Aig& g, std::span<const OpKind> decisions,
             continue;
         }
         ++res.num_checked;
+        if (track_levels && levels_stale) {
+            g.update_levels();
+            levels_stale = false;
+        }
         const CheckResult check = check_op(g, v, op, params);
         if (!check.applicable) {
             continue;
         }
+        if (!objective.accepts(check.gain)) {
+            ++res.num_rejected;
+            continue;
+        }
         apply_candidate(g, v, check.cand);
+        levels_stale = true;
         res.applied[v] = op;
         ++res.num_applied;
     }

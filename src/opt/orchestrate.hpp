@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "opt/objective.hpp"
 #include "opt/transform.hpp"
 
 namespace bg::opt {
@@ -29,6 +30,9 @@ struct OrchestrationResult {
     std::vector<OpKind> applied;
     std::size_t num_checked = 0;
     std::size_t num_applied = 0;
+    /// Applicable candidates the objective vetoed (always 0 under the
+    /// default SizeObjective, which accepts whatever the check accepts).
+    std::size_t num_rejected = 0;
 
     int reduction() const {
         return static_cast<int>(original_size) -
@@ -42,10 +46,16 @@ struct OrchestrationResult {
 
 /// Run Algorithm 1 in place.  `decisions` must cover every var id present
 /// at entry (g.num_slots()); vars created during the pass are not visited
-/// (they are "unseen" nodes in the paper's terminology).
+/// (they are "unseen" nodes in the paper's terminology).  The objective
+/// gates which applicable candidates are committed: the default
+/// SizeObjective applies every one (pre-objective behavior, bit-identical
+/// results); depth-aware objectives keep the level annotation fresh so
+/// each check's local depth delta is meaningful, and veto candidates
+/// whose local gain they reject (counted in num_rejected).
 OrchestrationResult orchestrate(aig::Aig& g,
                                 std::span<const OpKind> decisions,
-                                const OptParams& params = {});
+                                const OptParams& params = {},
+                                const Objective& objective = size_objective());
 
 /// Uniform decision vector (the same operation everywhere).
 DecisionVector uniform_decisions(const aig::Aig& g, OpKind op);

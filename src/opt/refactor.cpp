@@ -55,6 +55,7 @@ Candidate candidate_from_factor_form(const tt::FactorForm& ff,
 }  // namespace
 
 CheckResult check_refactor(const Aig& g, Var v, const OptParams& params) {
+    params.validate();
     if (!g.is_and(v) || g.is_dead(v)) {
         return {};
     }
@@ -81,9 +82,10 @@ CheckResult check_refactor(const Aig& g, Var v, const OptParams& params) {
     }
     CheckResult res;
     res.applicable = true;
-    res.gain = gain;
+    res.gain.size_delta = gain;
     cand.est_gain = gain;
     res.cand = std::move(cand);
+    res.gain.depth_delta = estimate_depth_delta(g, v, res.cand);
     return res;
 }
 

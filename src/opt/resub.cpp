@@ -41,6 +41,7 @@ std::unordered_set<Var> tfo_set(const Aig& g, Var v) {
 }  // namespace
 
 CheckResult check_resub(const Aig& g, Var v, const OptParams& params) {
+    params.validate();
     if (!g.is_and(v) || g.is_dead(v)) {
         return {};
     }
@@ -107,9 +108,9 @@ CheckResult check_resub(const Aig& g, Var v, const OptParams& params) {
             return;
         }
         const int gain = saved - added;
-        if (!best.applicable || gain > best.gain) {
+        if (!best.applicable || gain > best.gain.size_delta) {
             best.applicable = true;
-            best.gain = gain;
+            best.gain.size_delta = gain;
             cand.est_gain = gain;
             best.cand = std::move(cand);
         }
@@ -181,9 +182,13 @@ CheckResult check_resub(const Aig& g, Var v, const OptParams& params) {
             cand.est_gain = saved;
             CheckResult res;
             res.applicable = saved >= min_gain;
-            res.gain = saved;
+            res.gain.size_delta = saved;
             res.cand = std::move(cand);
-            return res.applicable ? res : CheckResult{};
+            if (res.applicable) {
+                res.gain.depth_delta = estimate_depth_delta(g, v, res.cand);
+                return res;
+            }
+            return {};
         }
     }
 
@@ -205,9 +210,13 @@ CheckResult check_resub(const Aig& g, Var v, const OptParams& params) {
             }
         }
     }
-    if (best.applicable && best.gain >= saved) {
+    if (best.applicable && best.gain.size_delta >= saved) {
         // Cannot do better than freeing the whole MFFC.
-        return best.gain >= min_gain ? best : CheckResult{};
+        if (best.gain.size_delta < min_gain) {
+            return {};
+        }
+        best.gain.depth_delta = estimate_depth_delta(g, v, best.cand);
+        return best;
     }
 
     // --- 2-resub: three-divisor two-level forms -------------------------
@@ -255,9 +264,10 @@ CheckResult check_resub(const Aig& g, Var v, const OptParams& params) {
         }
     }
 
-    if (!best.applicable || best.gain < min_gain) {
+    if (!best.applicable || best.gain.size_delta < min_gain) {
         return {};
     }
+    best.gain.depth_delta = estimate_depth_delta(g, v, best.cand);
     return best;
 }
 

@@ -29,11 +29,10 @@ std::uint16_t lift_to_u16(const tt::TruthTable& t) {
 }  // namespace
 
 CheckResult check_rewrite(const Aig& g, Var v, const OptParams& params) {
+    params.validate();
     if (!g.is_and(v) || g.is_dead(v)) {
         return {};
     }
-    BG_EXPECTS(params.rewrite_cut_size <= 4,
-               "the rewrite library covers up to 4-input cuts");
     const auto cuts = cut::enumerate_cuts(g, v, params.rewrite_cut_size,
                                           params.rewrite_max_cuts);
     auto& lib = RewriteLibrary::instance();
@@ -59,17 +58,18 @@ CheckResult check_rewrite(const Aig& g, Var v, const OptParams& params) {
             continue;  // recipe resolves to the root itself
         }
         const int gain = dying.size() - added;
-        if (!best.applicable || gain > best.gain) {
+        if (!best.applicable || gain > best.gain.size_delta) {
             best.applicable = true;
-            best.gain = gain;
+            best.gain.size_delta = gain;
             cand.est_gain = gain;
             best.cand = std::move(cand);
         }
     }
     const int min_gain = params.allow_zero_gain ? 0 : 1;
-    if (!best.applicable || best.gain < min_gain) {
+    if (!best.applicable || best.gain.size_delta < min_gain) {
         return {};
     }
+    best.gain.depth_delta = estimate_depth_delta(g, v, best.cand);
     return best;
 }
 

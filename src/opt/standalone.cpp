@@ -3,18 +3,23 @@
 namespace bg::opt {
 
 OrchestrationResult standalone_pass(aig::Aig& g, OpKind op,
-                                    const OptParams& params) {
+                                    const OptParams& params,
+                                    const Objective& objective) {
     const auto decisions = uniform_decisions(g, op);
-    return orchestrate(g, decisions, params);
+    return orchestrate(g, decisions, params, objective);
 }
 
 int standalone_to_convergence(aig::Aig& g, OpKind op, unsigned max_rounds,
-                              const OptParams& params) {
+                              const OptParams& params,
+                              const Objective& objective) {
     int total = 0;
     for (unsigned round = 0; round < max_rounds; ++round) {
-        const auto res = standalone_pass(g, op, params);
+        const auto res = standalone_pass(g, op, params, objective);
         total += res.reduction();
-        if (res.reduction() <= 0) {
+        // Under size this is the historical `reduction() <= 0` stop; other
+        // objectives keep iterating while their own metric improves.
+        const Gain round_gain{res.reduction(), res.depth_reduction()};
+        if (objective.local_gain(round_gain) <= 0.0) {
             break;
         }
     }

@@ -9,13 +9,17 @@
 
 namespace bg::opt {
 
-/// One stand-alone pass of `op` over the whole AIG.
+/// One stand-alone pass of `op` over the whole AIG, committing under
+/// `objective` (default: size, the pre-objective behavior).
 OrchestrationResult standalone_pass(aig::Aig& g, OpKind op,
-                                    const OptParams& params = {});
+                                    const OptParams& params = {},
+                                    const Objective& objective =
+                                        size_objective());
 
-/// Repeat stand-alone passes until no further reduction (or `max_rounds`).
-/// Returns the cumulative reduction.
+/// Repeat stand-alone passes until no further improvement under the
+/// objective (or `max_rounds`).  Returns the cumulative size reduction.
 int standalone_to_convergence(aig::Aig& g, OpKind op, unsigned max_rounds = 8,
-                              const OptParams& params = {});
+                              const OptParams& params = {},
+                              const Objective& objective = size_objective());
 
 }  // namespace bg::opt

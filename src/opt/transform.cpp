@@ -22,6 +22,23 @@ OpKind op_from_index(int idx) {
     return static_cast<OpKind>(idx);
 }
 
+void OptParams::validate() const {
+    BG_EXPECTS(rewrite_cut_size >= 2 && rewrite_cut_size <= 4,
+               "rewrite_cut_size must lie in [2, 4]: the NPN rewrite "
+               "library covers exactly the 4-input functions");
+    BG_EXPECTS(rewrite_max_cuts >= 1,
+               "rewrite_max_cuts of 0 would enumerate no cut at all");
+    BG_EXPECTS(refactor_max_leaves >= 2 &&
+                   refactor_max_leaves <= max_window_leaves,
+               "refactor_max_leaves must lie in [2, 16]: windows below 2 "
+               "leaves are degenerate, above 16 the truth tables explode");
+    BG_EXPECTS(resub_max_leaves >= 2 && resub_max_leaves <= max_window_leaves,
+               "resub_max_leaves must lie in [2, 16]: windows below 2 "
+               "leaves are degenerate, above 16 the truth tables explode");
+    BG_EXPECTS(resub_max_divisors >= 1,
+               "resub_max_divisors of 0 leaves nothing to substitute");
+}
+
 std::string to_string(OpKind op) {
     switch (op) {
         case OpKind::Rewrite:
@@ -207,13 +224,43 @@ int count_added_nodes(const Aig& g, Var root, const Candidate& cand,
     return added;
 }
 
+int estimate_depth_delta(const Aig& g, Var root, const Candidate& cand) {
+    // Recipe-space levels: index 0 (const) at 0, operands at their graph
+    // levels, each step one above its deepest input.  Complement edges are
+    // free, exactly as in Aig::update_levels.  Recipes are small (cut
+    // leaves + factored steps), so a stack buffer covers the hot path —
+    // this runs once per applicable check inside the static-feature scan.
+    const std::size_t n = 1 + cand.operands.size() + cand.steps.size();
+    std::uint32_t stack_levels[64];
+    std::vector<std::uint32_t> heap_levels;
+    std::uint32_t* levels = stack_levels;
+    if (n > std::size(stack_levels)) {
+        heap_levels.resize(n);
+        levels = heap_levels.data();
+    }
+    levels[0] = 0;
+    for (std::size_t i = 0; i < cand.operands.size(); ++i) {
+        levels[1 + i] = g.level(cand.operands[i]);
+    }
+    for (std::size_t s = 0; s < cand.steps.size(); ++s) {
+        const auto lv = [&](aig::Lit l) { return levels[aig::lit_var(l)]; };
+        levels[1 + cand.operands.size() + s] =
+            1 + std::max(lv(cand.steps[s].in0), lv(cand.steps[s].in1));
+    }
+    return static_cast<int>(g.level(root)) -
+           static_cast<int>(levels[aig::lit_var(cand.out)]);
+}
+
 // ---------------------------------------------------------------------------
 // Apply
 // ---------------------------------------------------------------------------
 
-int apply_candidate(Aig& g, Var root, const Candidate& cand) {
+Gain apply_candidate(Aig& g, Var root, const Candidate& cand) {
     BG_EXPECTS(g.is_and(root) && !g.is_dead(root),
                "apply target must be a live AND node");
+    // The depth estimate needs the pre-apply levels; replace() invalidates
+    // them.
+    const int depth_est = estimate_depth_delta(g, root, cand);
     const auto before = static_cast<int>(g.num_ands());
 
     std::vector<Lit> value(1 + cand.operands.size() + cand.steps.size(),
@@ -250,11 +297,11 @@ int apply_candidate(Aig& g, Var root, const Candidate& cand) {
 
     if (aig::lit_var(out) == root) {
         cleanup_created();
-        return 0;
+        return {};
     }
     g.replace(root, out);
     cleanup_created();  // defensive: recipe steps not reachable from out
-    return before - static_cast<int>(g.num_ands());
+    return Gain{before - static_cast<int>(g.num_ands()), depth_est};
 }
 
 CheckResult check_op(const Aig& g, Var v, OpKind op, const OptParams& params) {

@@ -47,6 +47,28 @@ struct OptParams {
     std::size_t resub_max_divisors = 48;
     /// Accept transformations with zero gain (ABC's -z); default off.
     bool allow_zero_gain = false;
+
+    /// Largest reconvergence cut the refactor/resub windows may grow to;
+    /// beyond this the 2^leaves truth tables dominate the runtime.
+    static constexpr unsigned max_window_leaves = 16;
+
+    /// Reject out-of-range limits with a ContractViolation instead of
+    /// silently misbehaving (a cut size of 0 enumerates nothing, one above
+    /// 4 overruns the NPN rewrite library, oversized windows explode).
+    /// Every pass entry point (check_op, orchestrate, standalone_pass,
+    /// compute_static_features, run_flow) validates once.
+    void validate() const;
+};
+
+/// Multi-metric outcome of one local transformation, replacing the old
+/// bare `int gain`.  `size_delta` is the paper's exact AND-count gain;
+/// `depth_delta` is a *local* estimate — the root's level minus the level
+/// the replacement recipe would have, computed from the operands' current
+/// level annotation (see Aig::update_levels; meaningless when levels are
+/// stale).  Positive deltas are improvements on both axes.
+struct Gain {
+    int size_delta = 0;
+    int depth_delta = 0;
 };
 
 /// A replacement recipe for one root node.
@@ -79,7 +101,8 @@ struct Candidate {
 /// Outcome of a read-only applicability check.
 struct CheckResult {
     bool applicable = false;
-    int gain = 0;  ///< meaningful when applicable (>= 1, or 0 with -z)
+    /// Meaningful when applicable (size_delta >= 1, or 0 with -z).
+    Gain gain;
     Candidate cand;
 };
 
@@ -118,11 +141,19 @@ private:
 int count_added_nodes(const aig::Aig& g, aig::Var root, const Candidate& cand,
                       const MffcResult& dying);
 
+/// Local depth delta of replacing `root` by `cand`: the root's current
+/// level minus the recipe output's level, where each recipe step sits one
+/// level above its deepest input and operands keep their graph levels.
+/// Valid only while g's level annotation is fresh.
+int estimate_depth_delta(const aig::Aig& g, aig::Var root,
+                         const Candidate& cand);
+
 /// Materialize the candidate and redirect `root`.  Returns the measured
-/// change in AND count (positive = smaller graph); cascading merges can
-/// make this exceed est_gain.  When the recipe resolves to root itself the
-/// graph is left untouched and 0 is returned.
-int apply_candidate(aig::Aig& g, aig::Var root, const Candidate& cand);
+/// AND-count change plus the pre-apply local depth estimate (positive =
+/// smaller / shallower); cascading merges can make size_delta exceed
+/// est_gain.  When the recipe resolves to root itself the graph is left
+/// untouched and a zero Gain is returned.
+Gain apply_candidate(aig::Aig& g, aig::Var root, const Candidate& cand);
 
 /// Read-only applicability check of one operation at one node.
 CheckResult check_op(const aig::Aig& g, aig::Var v, OpKind op,

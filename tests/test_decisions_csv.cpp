@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "opt/orchestrate.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using bg::opt::DecisionVector;
+using bg::opt::load_decisions_csv;
+using bg::opt::OpKind;
+using bg::opt::save_decisions_csv;
+
+class DecisionsCsv : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("bg_decisions_csv_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path file(const char* name) const {
+        return dir_ / name;
+    }
+    std::filesystem::path write_text(const char* name, const char* text) {
+        const auto p = file(name);
+        std::ofstream os(p);
+        os << text;
+        return p;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(DecisionsCsv, RoundTripsEveryOpKindIncludingNone) {
+    const DecisionVector d = {OpKind::Rewrite, OpKind::Resub,
+                              OpKind::Refactor, OpKind::None,
+                              OpKind::None,    OpKind::Rewrite};
+    const auto p = file("all_ops.csv");
+    save_decisions_csv(p, d);
+    EXPECT_EQ(load_decisions_csv(p), d);
+}
+
+TEST_F(DecisionsCsv, RoundTripsEmptyVector) {
+    const DecisionVector d;
+    const auto p = file("empty.csv");
+    save_decisions_csv(p, d);
+    const auto loaded = load_decisions_csv(p);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(DecisionsCsv, RoundTripsLargeVectorDensely) {
+    DecisionVector d;
+    for (std::size_t i = 0; i < 500; ++i) {
+        d.push_back(bg::opt::op_from_index(static_cast<int>(i % 4)));
+    }
+    const auto p = file("large.csv");
+    save_decisions_csv(p, d);
+    EXPECT_EQ(load_decisions_csv(p), d);
+}
+
+TEST_F(DecisionsCsv, RejectsWrongColumnCount) {
+    const auto p = write_text("columns.csv",
+                              "node,decision\n0,1,extra\n");
+    EXPECT_THROW((void)load_decisions_csv(p), std::runtime_error);
+    const auto p1 = write_text("one_column.csv", "node,decision\n0\n");
+    EXPECT_THROW((void)load_decisions_csv(p1), std::runtime_error);
+}
+
+TEST_F(DecisionsCsv, RejectsSparseOrShuffledIndices) {
+    const auto gap = write_text("gap.csv", "node,decision\n0,1\n2,1\n");
+    EXPECT_THROW((void)load_decisions_csv(gap), std::runtime_error);
+    const auto shuffled =
+        write_text("shuffled.csv", "node,decision\n1,1\n0,1\n");
+    EXPECT_THROW((void)load_decisions_csv(shuffled), std::runtime_error);
+}
+
+TEST_F(DecisionsCsv, RejectsOutOfRangeDecision) {
+    const auto p = write_text("bad_op.csv", "node,decision\n0,7\n");
+    EXPECT_THROW((void)load_decisions_csv(p), bg::ContractViolation);
+}
+
+TEST_F(DecisionsCsv, RejectsNonNumericCells) {
+    const auto p = write_text("garbage.csv", "node,decision\nzero,rw\n");
+    EXPECT_ANY_THROW((void)load_decisions_csv(p));
+}
+
+TEST_F(DecisionsCsv, MissingFileThrows) {
+    EXPECT_THROW((void)load_decisions_csv(file("does_not_exist.csv")),
+                 std::runtime_error);
+}
+
+}  // namespace

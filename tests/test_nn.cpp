@@ -281,6 +281,54 @@ Csr line_graph(std::size_t n) {
     return csr;
 }
 
+TEST(Sage, MeanAggregateCachedInvDegBitIdenticalToFallback) {
+    // The precomputed-1/deg fast path must reproduce the on-the-fly
+    // division bit for bit, including reuse of a stale output matrix.
+    bg::Rng rng(123);
+    for (const std::size_t n : {1UL, 3UL, 17UL, 64UL}) {
+        Csr plain = line_graph(n);
+        Csr cached = plain;
+        cached.build_inv_deg();
+        ASSERT_EQ(cached.inv_deg.size(), n);
+        for (const std::size_t batch : {1UL, 2UL, 5UL}) {
+            Matrix x(batch * n, 7);
+            for (auto& v : x.data()) {
+                v = rng.next_float() * 2.0F - 1.0F;
+            }
+            Matrix h_plain;
+            Matrix h_cached(batch * n, 7);
+            h_cached.fill(42.0F);  // stale storage must be overwritten
+            mean_aggregate(x, plain, batch, h_plain);
+            mean_aggregate(x, cached, batch, h_cached);
+            ASSERT_EQ(h_plain.rows(), h_cached.rows());
+            for (std::size_t i = 0; i < h_plain.size(); ++i) {
+                ASSERT_EQ(h_plain.data()[i], h_cached.data()[i])
+                    << "n=" << n << " batch=" << batch << " elt " << i;
+            }
+        }
+    }
+}
+
+TEST(Sage, MeanAggregateZeroesIsolatedNodes) {
+    // Node 1 is isolated; its output row must be zero even when the
+    // output matrix is reused with stale contents.
+    Csr csr;
+    csr.offsets = {0, 1, 1, 2};
+    csr.neighbors = {2, 0};
+    csr.build_inv_deg();
+    EXPECT_EQ(csr.inv_deg[1], 0.0F);
+    Matrix x(3, 2);
+    x.at(0, 0) = 4.0F;
+    x.at(2, 0) = 8.0F;
+    Matrix h(3, 2);
+    h.fill(9.0F);
+    mean_aggregate(x, csr, 1, h);
+    EXPECT_FLOAT_EQ(h.at(0, 0), 8.0F);
+    EXPECT_FLOAT_EQ(h.at(1, 0), 0.0F);
+    EXPECT_FLOAT_EQ(h.at(1, 1), 0.0F);
+    EXPECT_FLOAT_EQ(h.at(2, 0), 4.0F);
+}
+
 TEST(Sage, MeanAggregationSemantics) {
     const Csr csr = line_graph(3);
     Matrix x(3, 2);

@@ -83,6 +83,78 @@ TEST(OptParams, RewriteCutSizeAboveFourRejected) {
                  bg::ContractViolation);
 }
 
+TEST(OptParams, ValidateAcceptsDefaultsAndSweepRange) {
+    OptParams{}.validate();
+    for (const unsigned cut : {2u, 3u, 4u}) {
+        for (const unsigned leaves : {2u, 6u, 10u, 16u}) {
+            OptParams p;
+            p.rewrite_cut_size = cut;
+            p.refactor_max_leaves = leaves;
+            p.resub_max_leaves = leaves;
+            p.validate();
+        }
+    }
+}
+
+TEST(OptParams, ValidateRejectsZeroAndOversizedLimits) {
+    const auto expect_invalid = [](OptParams p) {
+        EXPECT_THROW(p.validate(), bg::ContractViolation);
+    };
+    OptParams p;
+    p.rewrite_cut_size = 0;
+    expect_invalid(p);
+    p = {};
+    p.rewrite_cut_size = 1;
+    expect_invalid(p);
+    p = {};
+    p.rewrite_cut_size = 5;  // beyond the 4-input NPN library
+    expect_invalid(p);
+    p = {};
+    p.rewrite_cut_size = 7;
+    expect_invalid(p);
+    p = {};
+    p.rewrite_max_cuts = 0;
+    expect_invalid(p);
+    p = {};
+    p.refactor_max_leaves = 0;
+    expect_invalid(p);
+    p = {};
+    p.refactor_max_leaves = 1;
+    expect_invalid(p);
+    p = {};
+    p.refactor_max_leaves = OptParams::max_window_leaves + 1;
+    expect_invalid(p);
+    p = {};
+    p.resub_max_leaves = 0;
+    expect_invalid(p);
+    p = {};
+    p.resub_max_leaves = 40;
+    expect_invalid(p);
+    p = {};
+    p.resub_max_divisors = 0;
+    expect_invalid(p);
+}
+
+TEST(OptParams, EveryEntryPointValidates) {
+    const Aig g = bg::test::redundant_aig(6, 20, 2, 5);
+    OptParams bad;
+    bad.refactor_max_leaves = 0;
+    const auto ands = g.topo_ands();
+    ASSERT_FALSE(ands.empty());
+    EXPECT_THROW((void)bg::opt::check_refactor(g, ands.back(), bad),
+                 bg::ContractViolation);
+    EXPECT_THROW((void)bg::opt::check_op(g, ands.back(),
+                                         OpKind::Refactor, bad),
+                 bg::ContractViolation);
+    Aig copy = g;
+    EXPECT_THROW((void)bg::opt::standalone_pass(copy, OpKind::Rewrite, bad),
+                 bg::ContractViolation);
+    EXPECT_THROW(
+        (void)bg::opt::orchestrate(
+            copy, bg::opt::uniform_decisions(copy, OpKind::Rewrite), bad),
+        bg::ContractViolation);
+}
+
 TEST(OptParams, ResubDivisorCapRespected) {
     // With a divisor cap of 1 almost nothing can be found, but the pass
     // must stay sound.

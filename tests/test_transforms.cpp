@@ -40,9 +40,9 @@ TEST(Rewrite, FindsMuxCollapse) {
     EXPECT_EQ(g.num_ands(), 3u);
     const auto res = check_rewrite(g, lit_var(f));
     ASSERT_TRUE(res.applicable);
-    EXPECT_EQ(res.gain, 3);
-    const int actual = apply_candidate(g, lit_var(f), res.cand);
-    EXPECT_EQ(actual, 3);
+    EXPECT_EQ(res.gain.size_delta, 3);
+    const auto actual = apply_candidate(g, lit_var(f), res.cand);
+    EXPECT_EQ(actual.size_delta, 3);
     g.check_integrity();
     EXPECT_EQ(g.num_ands(), 0u);
     EXPECT_EQ(g.po(0), a);
@@ -83,7 +83,7 @@ TEST(Refactor, FactorsDistributedProduct) {
     EXPECT_EQ(g.num_ands(), 3u);
     const auto res = check_refactor(g, lit_var(f));
     ASSERT_TRUE(res.applicable);
-    EXPECT_GE(res.gain, 1);
+    EXPECT_GE(res.gain.size_delta, 1);
     Aig before = g;
     apply_candidate(g, lit_var(f), res.cand);
     g.check_integrity();
@@ -124,7 +124,8 @@ TEST(Resub, ZeroResubPrefersWholeMffc) {
     g.add_po(y);
     const auto res = check_resub(g, lit_var(y));
     ASSERT_TRUE(res.applicable);
-    EXPECT_EQ(res.gain, 2) << "both nodes of y's cone should be freed";
+    EXPECT_EQ(res.gain.size_delta, 2)
+        << "both nodes of y's cone should be freed";
 }
 
 TEST(AllOps, GainEstimatesAreHonest) {
@@ -144,9 +145,9 @@ TEST(AllOps, GainEstimatesAreHonest) {
                     continue;
                 }
                 Aig before = g;
-                const int actual = apply_candidate(g, v, res.cand);
+                const auto actual = apply_candidate(g, v, res.cand);
                 g.check_integrity();
-                ASSERT_GE(actual, res.gain)
+                ASSERT_GE(actual.size_delta, res.gain.size_delta)
                     << to_string(op) << " at node " << v << " seed " << seed;
                 ASSERT_EQ(check_equivalence(before, g),
                           CecVerdict::Equivalent)
