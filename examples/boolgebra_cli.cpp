@@ -6,6 +6,13 @@
 ///   stats    <design>                          print size / depth / IO
 ///   opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out.{aag,aig,bench}]
 ///   sample   <design> [-n N] [--guided] [--seed S] [--save-best best.csv]
+///   train    <design> [-n N] [--epochs E] [--seed S]
+///            [--heads size,depth,luts] [--lut-k K] [-o weights.bin]
+///            generate guided samples, build the dataset and train the
+///            predictor; --heads picks the metric heads (multi-head
+///            checkpoints let depth/LUT flows rank under the matching
+///            head instead of size-as-proxy), --lut-k sets the mapping K
+///            for LUT labels (measured only when the luts head is on)
 ///   flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]
 ///            [--workers W] [--scale S] [--seed S] [--model weights.bin]
 ///            [--random] [--objective size|depth|luts[:K]|weighted:a,b]
@@ -13,7 +20,9 @@
 ///            arguments may be registry globs (e.g. 'b1*'); --random
 ///            replaces priority-guided sampling with uniform sampling;
 ///            --objective picks the cost model candidates are ranked and
-///            committed under (default size = AND count)
+///            committed under (default size = AND count); the pruning
+///            scores come from the model head matching the objective
+///            (size stands in when the checkpoint lacks the head)
 ///   serve    <design...>|--all [flow flags] [--repeat N]
 ///            [--swap-model weights.bin|fresh] [--swap-after N]
 ///            long-lived FlowService demo: submits every design (repeated
@@ -29,6 +38,7 @@
 /// <design> is a registry name (b07..c5315, optionally name@scale, e.g.
 /// b11@0.25) or a path ending in .aag / .aig / .bench.
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <cstdlib>
@@ -41,9 +51,11 @@
 
 #include "aig/cec.hpp"
 #include "circuits/registry.hpp"
+#include "core/dataset.hpp"
 #include "core/flow_engine.hpp"
 #include "core/flow_service.hpp"
 #include "core/sampling.hpp"
+#include "core/trainer.hpp"
 #include "io/aiger.hpp"
 #include "io/bench.hpp"
 #include "opt/balance.hpp"
@@ -65,6 +77,8 @@ int usage() {
         "  stats    <design>\n"
         "  opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out]\n"
         "  sample   <design> [-n N] [--guided] [--seed S] [--save-best f]\n"
+        "  train    <design> [-n N] [--epochs E] [--seed S]\n"
+        "           [--heads size,depth,luts] [--lut-k K] [-o weights.bin]\n"
         "  flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]\n"
         "           [--workers W] [--scale S] [--seed S] [--model f]\n"
         "           [--random] [--objective size|depth|luts[:K]|weighted:a,b]\n"
@@ -214,6 +228,85 @@ int cmd_sample(Aig g, std::vector<std::string> args) {
     return 0;
 }
 
+/// Parse a comma-separated head list ("size,depth,luts").
+std::vector<bg::core::MetricHead> parse_heads(const std::string& spec) {
+    std::vector<bg::core::MetricHead> heads;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        auto comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        heads.push_back(
+            bg::core::head_from_string(spec.substr(pos, comma - pos)));
+        pos = comma + 1;
+    }
+    return heads;
+}
+
+int cmd_train(Aig g, std::vector<std::string> args) {
+    const auto n_arg = flag_value(args, "-n");
+    const auto epochs_arg = flag_value(args, "--epochs");
+    const auto seed_arg = flag_value(args, "--seed");
+    const auto heads_arg = flag_value(args, "--heads");
+    const auto lut_k_arg = flag_value(args, "--lut-k");
+    const auto out_arg = flag_value(args, "-o");
+
+    const std::size_t n =
+        n_arg ? static_cast<std::size_t>(std::atoll(n_arg->c_str())) : 120;
+    const std::uint64_t seed =
+        seed_arg ? static_cast<std::uint64_t>(std::atoll(seed_arg->c_str()))
+                 : 7;
+
+    bg::core::ModelConfig mc = bg::core::ModelConfig::quick();
+    if (heads_arg) {
+        mc.heads = parse_heads(*heads_arg);
+    }
+    bg::core::BoolGebraModel model(mc);
+
+    // LUT labels are only worth their lut_map cost when a LUT head will
+    // consume them.
+    bg::opt::LutMapParams lut;
+    if (lut_k_arg) {
+        lut.k = static_cast<unsigned>(std::atoi(lut_k_arg->c_str()));
+    }
+    const bool wants_luts = model.has_head(bg::core::MetricHead::Luts);
+    std::printf("sampling %zu guided decision vectors%s...\n", n,
+                wants_luts ? " (with LUT labels)" : "");
+    bg::Stopwatch sw;
+    const auto records = bg::core::generate_guided_samples(
+        g, n, seed, {}, nullptr, wants_luts ? &lut : nullptr);
+    const auto ds = bg::core::build_dataset(g, records);
+    std::printf("dataset: %zu samples, best reduction %d (%.1fs)\n",
+                ds.size(), ds.best_reduction(), sw.seconds());
+
+    auto tc = bg::core::TrainConfig::quick();
+    if (epochs_arg) {
+        tc.epochs = static_cast<std::size_t>(std::atoll(epochs_arg->c_str()));
+    }
+    tc.seed = seed;
+    sw.reset();
+    const auto tr = bg::core::train_model(model, ds, tc);
+    std::printf("trained %zu parameters for %zu epochs in %.1fs\n",
+                model.num_parameters(), tc.epochs, sw.seconds());
+    const auto head_losses =
+        bg::core::evaluate_head_losses(model, ds, tr.split.test);
+    for (std::size_t h = 0; h < head_losses.size(); ++h) {
+        std::printf("  head %-5s test MSE %.5f\n",
+                    bg::core::to_string(model.heads()[h]), head_losses[h]);
+    }
+    if (out_arg) {
+        model.save(*out_arg);
+        std::printf("checkpoint (%s) saved to %s\n",
+                    model.num_heads() == 1 ? "v1 single-head"
+                                           : "v2 multi-head",
+                    out_arg->c_str());
+    } else {
+        std::puts("note: no -o given; weights were not saved");
+    }
+    return 0;
+}
+
 /// Flags shared by the `flow` and `serve` commands.
 struct FlowArgs {
     bg::core::EngineConfig cfg;
@@ -294,16 +387,27 @@ std::optional<std::vector<bg::core::DesignJob>> collect_jobs(
     return jobs;
 }
 
-/// Build the quick-architecture model, optionally loading weights.
+/// Build the quick-architecture model, optionally loading weights.  The
+/// checkpoint picks its own head list: v1 single-head files load as
+/// size-only, v2 files restore their recorded heads.
 bg::core::BoolGebraModel make_cli_model(
     const std::optional<std::string>& path) {
-    bg::core::BoolGebraModel model{bg::core::ModelConfig::quick()};
     if (path) {
-        model.load(*path);
-    } else {
-        std::puts("note: no --model given; ranking with untrained weights");
+        auto model =
+            bg::core::load_checkpoint(*path, bg::core::ModelConfig::quick());
+        std::string heads;
+        for (const auto h : model.heads()) {
+            heads += heads.empty() ? "" : ",";
+            heads += bg::core::to_string(h);
+        }
+        std::printf("loaded %s checkpoint %s (heads: %s)\n",
+                    model.num_heads() == 1 ? "v1 single-head"
+                                           : "v2 multi-head",
+                    path->c_str(), heads.c_str());
+        return model;
     }
-    return model;
+    std::puts("note: no --model given; ranking with untrained weights");
+    return bg::core::BoolGebraModel{bg::core::ModelConfig::quick()};
 }
 
 int cmd_flow(std::vector<std::string> args) {
@@ -347,10 +451,11 @@ int cmd_flow(std::vector<std::string> args) {
                    bg::TablePrinter::fmt(batch.avg_final_depth_ratio), "-",
                    "-"});
     table.print();
-    std::printf("\nobjective %s: %zu designs, %zu samples in %.2fs on %zu "
-                "workers (%.2f designs/s, %.1f samples/s)\n",
-                batch.objective.c_str(), batch.designs.size(),
-                batch.total_samples, batch.total_seconds, engine.workers(),
+    std::printf("\nobjective %s (ranked by %s): %zu designs, %zu samples in "
+                "%.2fs on %zu workers (%.2f designs/s, %.1f samples/s)\n",
+                batch.objective.c_str(), batch.ranked_by.c_str(),
+                batch.designs.size(), batch.total_samples,
+                batch.total_seconds, engine.workers(),
                 batch.designs_per_second, batch.samples_per_second);
     return 0;
 }
@@ -404,10 +509,12 @@ int cmd_serve(std::vector<std::string> args) {
                     swap_cfg.seed ^= 0x5EED;
                 }
                 auto next =
-                    std::make_shared<bg::core::BoolGebraModel>(swap_cfg);
-                if (*swap_arg != "fresh") {
-                    next->load(*swap_arg);
-                }
+                    *swap_arg == "fresh"
+                        ? std::make_shared<bg::core::BoolGebraModel>(
+                              swap_cfg)
+                        : std::make_shared<bg::core::BoolGebraModel>(
+                              bg::core::load_checkpoint(*swap_arg,
+                                                        swap_cfg));
                 service.swap_model(std::move(next));
                 swapped = true;
                 std::printf("-- hot-swapped model after %zu submissions --\n",
@@ -420,8 +527,15 @@ int cmd_serve(std::vector<std::string> args) {
 
     bg::TablePrinter table({"job", "design", "ands", "BG-Best", "D-Best",
                             "V-Best", "final", "sec"});
+    // Jobs bound to different snapshots (mid-stream --swap-model) may
+    // rank differently; report every ranking seen, in encounter order.
+    std::vector<std::string> rankings;
     for (std::size_t i = 0; i < futures.size(); ++i) {
         const auto d = futures[i].get();
+        if (std::find(rankings.begin(), rankings.end(), d.flow.ranked_by) ==
+            rankings.end()) {
+            rankings.push_back(d.flow.ranked_by);
+        }
         table.add_row({std::to_string(i), d.name,
                        std::to_string(d.original_size),
                        bg::TablePrinter::fmt(d.flow.bg_best_ratio),
@@ -433,9 +547,15 @@ int cmd_serve(std::vector<std::string> args) {
     service.stop();
     table.print();
 
+    std::string ranked_by;
+    for (const auto& r : rankings) {
+        ranked_by += ranked_by.empty() ? "" : " -> ";
+        ranked_by += r;
+    }
     const auto st = service.stats();
-    std::printf("\nobjective %s\n",
-                bg::core::flow_objective(scfg.flow).name().c_str());
+    std::printf("\nobjective %s (ranked by %s)\n",
+                bg::core::flow_objective(scfg.flow).name().c_str(),
+                ranked_by.empty() ? "size" : ranked_by.c_str());
     std::printf("served %llu/%llu jobs in %.2fs uptime "
                 "(%.2f jobs/s, %.1f samples/s, %llu samples)\n",
                 static_cast<unsigned long long>(st.jobs_completed),
@@ -504,6 +624,11 @@ int main(int argc, char** argv) {
             Aig g = load_design(args[0]);
             args.erase(args.begin());
             return cmd_sample(std::move(g), std::move(args));
+        }
+        if (cmd == "train" && !args.empty()) {
+            Aig g = load_design(args[0]);
+            args.erase(args.begin());
+            return cmd_train(std::move(g), std::move(args));
         }
         if (cmd == "flow") {
             return cmd_flow(std::move(args));

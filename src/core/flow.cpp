@@ -1,7 +1,9 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <utility>
 
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
@@ -62,6 +64,102 @@ const opt::Objective& flow_objective(const FlowConfig& cfg) {
     return cfg.objective != nullptr ? *cfg.objective : opt::size_objective();
 }
 
+namespace {
+
+double weight_for(const opt::PredictionWeights& w, MetricHead head) {
+    switch (head) {
+        case MetricHead::Size:
+            return w.size;
+        case MetricHead::Depth:
+            return w.depth;
+        case MetricHead::Luts:
+            return w.luts;
+    }
+    return 0.0;
+}
+
+std::string format_weight(double w) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", w);
+    return buf;
+}
+
+}  // namespace
+
+RankingPlan plan_ranking(const BoolGebraModel& model,
+                         const opt::Objective& objective,
+                         std::optional<MetricHead> override_head) {
+    RankingPlan plan;
+    plan.weights.assign(model.num_heads(), 0.0);
+    // The size head is the universal fallback (every model carries it).
+    const std::size_t size_head =
+        model.head_index(MetricHead::Size).value();
+
+    if (override_head) {
+        if (const auto idx = model.head_index(*override_head)) {
+            plan.single_head = *idx;
+            plan.describe = to_string(*override_head);
+        } else {
+            plan.single_head = size_head;
+            plan.describe = std::string(to_string(MetricHead::Size)) +
+                            "-proxy";
+        }
+        plan.weights[*plan.single_head] = 1.0;
+        return plan;
+    }
+
+    const opt::PredictionWeights want = objective.prediction_weights();
+    std::vector<std::pair<std::size_t, double>> terms;
+    bool dropped = false;
+    for (const MetricHead head :
+         {MetricHead::Size, MetricHead::Depth, MetricHead::Luts}) {
+        const double w = weight_for(want, head);
+        if (w == 0.0) {
+            continue;
+        }
+        if (const auto idx = model.head_index(head)) {
+            terms.emplace_back(*idx, w);
+        } else {
+            dropped = true;  // the model was not trained with this head
+        }
+    }
+    if (terms.empty()) {
+        // None of the requested heads exist: size-as-proxy, the PR-4
+        // behavior on legacy single-head checkpoints.
+        plan.single_head = size_head;
+        plan.weights[size_head] = 1.0;
+        plan.describe = std::string(to_string(MetricHead::Size)) + "-proxy";
+        return plan;
+    }
+    if (terms.size() == 1) {
+        // One head suffices: use its raw column (bit-identical to the
+        // single-head predictor path — no weight multiplication).
+        plan.single_head = terms.front().first;
+        plan.weights[terms.front().first] = 1.0;
+        plan.describe = to_string(model.heads()[terms.front().first]);
+        if (dropped) {
+            plan.describe += "-proxy";
+        }
+        return plan;
+    }
+    std::string name = "blend(";
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+        plan.weights[terms[t].first] = terms[t].second;
+        if (t != 0) {
+            name += ',';
+        }
+        name += to_string(model.heads()[terms[t].first]);
+        name += ':';
+        name += format_weight(terms[t].second);
+    }
+    name += ')';
+    if (dropped) {
+        name += "-proxy";
+    }
+    plan.describe = std::move(name);
+    return plan;
+}
+
 FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                     const FlowConfig& cfg) {
     return run_flow(design, model, cfg, FlowContext{});
@@ -117,8 +215,23 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
             {stacked.row(i * num_nodes),
              num_nodes * static_cast<std::size_t>(feature_dim)});
     });
-    res.predictions = model.predict_batch(
-        csr, num_nodes, stacked, BoolGebraModel::kPredictBatch, ctx.pool);
+    // Head selection: rank under the head(s) the objective asks for,
+    // falling back to the size head when the model lacks them (legacy
+    // single-head checkpoints keep the PR-4 size-as-proxy ranking bit for
+    // bit — plan.single_head reads the raw column, no reweighting).
+    const RankingPlan plan =
+        plan_ranking(model, obj, cfg.ranking_head);
+    res.ranked_by = plan.describe;
+    res.predictions =
+        plan.single_head
+            ? model.predict_batch_head(csr, num_nodes, stacked,
+                                       *plan.single_head,
+                                       BoolGebraModel::kPredictBatch,
+                                       ctx.pool)
+            : model.predict_batch_blend(csr, num_nodes, stacked,
+                                        plan.weights,
+                                        BoolGebraModel::kPredictBatch,
+                                        ctx.pool);
     res.samples_evaluated = res.predictions.size();
 
     // Step 3: evaluate the top-k exactly (smaller score = better).

@@ -9,9 +9,12 @@
 /// BG-Best (Table I's columns).
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/dataset.hpp"
+#include "core/metrics.hpp"
 #include "core/model.hpp"
 #include "core/sampling.hpp"
 #include "opt/objective.hpp"
@@ -31,10 +34,38 @@ struct FlowConfig {
     /// means size — the paper's metric and the pre-objective behavior,
     /// bit-identical to it.
     opt::ObjectivePtr objective;
+    /// Optional override of the learned head used for pruning: rank the
+    /// sampled candidates with this metric head regardless of the
+    /// objective (A/B baselines — e.g. forcing the PR-4 size-as-proxy
+    /// ranking on a multi-head model).  The objective still decides which
+    /// evaluated candidate wins.  Falls back to the size head when the
+    /// model lacks the requested head.
+    std::optional<MetricHead> ranking_head;
 };
 
 /// The objective a config resolves to (size when unset).
 const opt::Objective& flow_objective(const FlowConfig& cfg);
+
+/// How run_flow turns the objective's prediction weights into scores from
+/// the model's actual heads.  `single_head` is set when one head's raw
+/// column suffices (bit-identical to the single-head predictor path —
+/// this is what keeps size flows on legacy checkpoints pinned to PR-4
+/// behavior); otherwise `weights` (model head order) drive a blended
+/// score.  `describe` is the name recorded in FlowResult::ranked_by.
+struct RankingPlan {
+    std::optional<std::size_t> single_head;
+    std::vector<double> weights;
+    std::string describe;
+};
+
+/// Resolve the ranking plan for a model/objective pair: map the
+/// objective's prediction_weights() onto the heads the model carries,
+/// dropping absent heads and falling back to the size head (suffix
+/// "-proxy") when none of the requested heads exist.  `override_head`
+/// (FlowConfig::ranking_head) short-circuits the objective mapping.
+RankingPlan plan_ranking(const BoolGebraModel& model,
+                         const opt::Objective& objective,
+                         std::optional<MetricHead> override_head = {});
 
 /// Extension beyond the paper's single-shot flow: run the flow, commit
 /// the best decision vector, and repeat on the optimized graph.  Ratios
@@ -64,6 +95,12 @@ struct FlowResult {
     std::size_t samples_evaluated = 0;
     /// Model scores for every sampled decision vector (lower = better).
     std::vector<double> predictions;
+    /// How the pruning scores were produced: a head name ("size",
+    /// "depth", "luts"), "blend(size:a,depth:b)" when a weighted
+    /// objective combines heads, with "-proxy" appended when the model
+    /// lacks the requested head(s) and the size head stood in (the PR-4
+    /// behavior on legacy single-head checkpoints).
+    std::string ranked_by = "size";
     /// Indices (into the sample batch) of the evaluated top-k.
     std::vector<std::size_t> selected;
     /// Exact reductions of the evaluated top-k, same order as `selected`.

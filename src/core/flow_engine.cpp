@@ -129,6 +129,9 @@ BatchFlowResult FlowEngine::run(std::span<const DesignJob> jobs,
     service_->swap_model(nullptr);
     out.total_seconds = watch.seconds();
     out.objective = flow_objective(cfg_.flow).name();
+    out.ranked_by =
+        plan_ranking(model, flow_objective(cfg_.flow), cfg_.flow.ranking_head)
+            .describe;
 
     if (!out.designs.empty()) {
         double best = 0.0;

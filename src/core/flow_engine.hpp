@@ -68,6 +68,10 @@ struct BatchFlowResult {
     std::vector<DesignFlowResult> designs;
     /// Objective the whole batch ranked under ("size" by default).
     std::string objective = "size";
+    /// How candidates were scored (FlowResult::ranked_by of the batch —
+    /// e.g. "depth" on a multi-head model under the depth objective,
+    /// "size-proxy" on a legacy single-head checkpoint).
+    std::string ranked_by = "size";
     /// Arithmetic means of the per-design ratios (Table I "Avg." row).
     double avg_bg_best_ratio = 1.0;
     double avg_bg_mean_ratio = 1.0;

@@ -18,7 +18,11 @@
 ///    snapshot it was bound to at submit() time and finishes on it.  This
 ///    is sound because eval-mode inference is genuinely const
 ///    (BoolGebraModel::predict_batch / forward_eval) — no per-job model
-///    copy is ever made.
+///    copy is ever made.  Snapshots may differ in head lists: each job
+///    resolves its ranking plan (objective -> metric head, see
+///    plan_ranking) against its own snapshot, so hot-swapping a legacy
+///    single-head checkpoint for a multi-head one upgrades depth/LUT
+///    flows from size-as-proxy to true head ranking mid-stream.
 ///  * **Graceful shutdown.**  drain() blocks until the service is idle;
 ///    stop() additionally rejects further submissions.  The destructor
 ///    stops implicitly.

@@ -1,0 +1,21 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+
+namespace bg::core {
+
+MetricHead head_from_string(const std::string& name) {
+    if (name == "size") {
+        return MetricHead::Size;
+    }
+    if (name == "depth") {
+        return MetricHead::Depth;
+    }
+    if (name == "luts") {
+        return MetricHead::Luts;
+    }
+    throw std::invalid_argument("unknown metric head '" + name +
+                                "' (use size | depth | luts)");
+}
+
+}  // namespace bg::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The learned prediction metrics.  Each MetricHead names one output head
+/// of the multi-head BoolGebraModel and one per-sample label column in the
+/// Dataset: the AND-count (size) label the paper trains on, the level
+/// (depth) label, and the mapped K-LUT-count label.  Objectives map onto
+/// these heads via opt::Objective::prediction_weights(), so a depth flow
+/// prunes by predicted depth gain instead of size-as-proxy.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bg::core {
+
+enum class MetricHead : std::uint8_t {
+    Size = 0,   ///< AND-count reduction — the paper's label
+    Depth = 1,  ///< level reduction
+    Luts = 2,   ///< mapped K-LUT count of the optimized graph
+};
+
+/// Number of distinct metric heads (label columns per dataset sample).
+inline constexpr std::size_t kNumMetricHeads = 3;
+
+inline const char* to_string(MetricHead head) {
+    switch (head) {
+        case MetricHead::Size:
+            return "size";
+        case MetricHead::Depth:
+            return "depth";
+        case MetricHead::Luts:
+            return "luts";
+    }
+    return "?";
+}
+
+/// Parse a head name ("size" | "depth" | "luts"); throws
+/// std::invalid_argument on anything else.
+MetricHead head_from_string(const std::string& name);
+
+}  // namespace bg::core

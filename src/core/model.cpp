@@ -1,5 +1,6 @@
 #include "core/model.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "core/dataset.hpp"
@@ -17,6 +18,17 @@ BoolGebraModel::BoolGebraModel(const ModelConfig& cfg)
     BG_EXPECTS(cfg.sage_dims.size() == 3, "the paper uses three conv layers");
     BG_EXPECTS(cfg.mlp_dims.size() == 3 && cfg.mlp_dims.back() == 1,
                "the paper uses a three-layer regression head");
+    BG_EXPECTS(!cfg_.heads.empty() &&
+                   cfg_.heads.size() <= kNumMetricHeads,
+               "the model needs between one and three metric heads");
+    for (std::size_t i = 0; i < cfg_.heads.size(); ++i) {
+        for (std::size_t j = i + 1; j < cfg_.heads.size(); ++j) {
+            BG_EXPECTS(cfg_.heads[i] != cfg_.heads[j],
+                       "duplicate metric head");
+        }
+    }
+    BG_EXPECTS(has_head(MetricHead::Size),
+               "every model carries the size head (the ranking fallback)");
     bg::Rng init(cfg.seed);
     int in = cfg.in_dim;
     for (const int out : cfg.sage_dims) {
@@ -26,11 +38,27 @@ BoolGebraModel::BoolGebraModel(const ModelConfig& cfg)
         conv_drop_.emplace_back(cfg.dropout);
         in = out;
     }
-    for (const int out : cfg.mlp_dims) {
+    // mlp_dims.back() is the per-head width (1); the final linear layer
+    // carries one column per head.  With the default single size head the
+    // init RNG draws — and therefore the weights — are bit-identical to
+    // the pre-multi-head model.
+    for (std::size_t l = 0; l < cfg.mlp_dims.size(); ++l) {
+        const int out = l + 1 == cfg.mlp_dims.size()
+                            ? static_cast<int>(cfg_.heads.size())
+                            : cfg.mlp_dims[l];
         linears_.emplace_back(static_cast<std::size_t>(in),
                               static_cast<std::size_t>(out), init);
         in = out;
     }
+}
+
+std::optional<std::size_t> BoolGebraModel::head_index(MetricHead head) const {
+    for (std::size_t i = 0; i < cfg_.heads.size(); ++i) {
+        if (cfg_.heads[i] == head) {
+            return i;
+        }
+    }
+    return std::nullopt;
 }
 
 void BoolGebraModel::set_input_stats(std::vector<float> mean,
@@ -241,11 +269,10 @@ std::vector<double> BoolGebraModel::predict_gathered(
     return out;
 }
 
-std::vector<double> BoolGebraModel::predict_batch(const nn::Csr& csr,
-                                                  std::size_t num_nodes,
-                                                  nn::ConstMatrixView stacked,
-                                                  std::size_t batch_size,
-                                                  bg::ThreadPool* pool) const {
+std::vector<double> BoolGebraModel::predict_batch_scored(
+    const nn::Csr& csr, std::size_t num_nodes, nn::ConstMatrixView stacked,
+    std::size_t batch_size, bg::ThreadPool* pool,
+    const std::function<double(const Matrix&, std::size_t)>& score) const {
     BG_EXPECTS(num_nodes > 0 && stacked.rows() % num_nodes == 0,
                "stacked feature rows must be a whole number of samples");
     BG_EXPECTS(stacked.cols() == static_cast<std::size_t>(cfg_.in_dim),
@@ -263,10 +290,48 @@ std::vector<double> BoolGebraModel::predict_batch(const nn::Csr& csr,
             forward_eval(stacked.rows_view(start * num_nodes, b * num_nodes),
                          csr, b, scratch, pool);
         for (std::size_t s = 0; s < b; ++s) {
-            out.push_back(pred.at(s, 0));
+            out.push_back(score(pred, s));
         }
     }
     return out;
+}
+
+std::vector<double> BoolGebraModel::predict_batch(const nn::Csr& csr,
+                                                  std::size_t num_nodes,
+                                                  nn::ConstMatrixView stacked,
+                                                  std::size_t batch_size,
+                                                  bg::ThreadPool* pool) const {
+    return predict_batch_head(csr, num_nodes, stacked, 0, batch_size, pool);
+}
+
+std::vector<double> BoolGebraModel::predict_batch_head(
+    const nn::Csr& csr, std::size_t num_nodes, nn::ConstMatrixView stacked,
+    std::size_t head, std::size_t batch_size, bg::ThreadPool* pool) const {
+    BG_EXPECTS(head < cfg_.heads.size(), "head index out of range");
+    return predict_batch_scored(
+        csr, num_nodes, stacked, batch_size, pool,
+        [head](const Matrix& pred, std::size_t s) -> double {
+            return pred.at(s, head);
+        });
+}
+
+std::vector<double> BoolGebraModel::predict_batch_blend(
+    const nn::Csr& csr, std::size_t num_nodes, nn::ConstMatrixView stacked,
+    std::span<const double> weights, std::size_t batch_size,
+    bg::ThreadPool* pool) const {
+    BG_EXPECTS(weights.size() == cfg_.heads.size(),
+               "blend weights must cover every head");
+    return predict_batch_scored(
+        csr, num_nodes, stacked, batch_size, pool,
+        [weights](const Matrix& pred, std::size_t s) -> double {
+            double score = 0.0;
+            for (std::size_t h = 0; h < weights.size(); ++h) {
+                if (weights[h] != 0.0) {
+                    score += weights[h] * pred.at(s, h);
+                }
+            }
+            return score;
+        });
 }
 
 void BoolGebraModel::save(const std::filesystem::path& path) {
@@ -277,8 +342,26 @@ void BoolGebraModel::save(const std::filesystem::path& path) {
     if (!out) {
         throw std::runtime_error("cannot write model file: " + path.string());
     }
-    const char magic[8] = {'B', 'G', 'M', 'O', 'D', 'E', 'L', '2'};
-    out.write(magic, sizeof magic);
+    // Versioned header: a single size head writes the legacy v1 layout
+    // (magic "BGMODEL2" — byte-identical to the pre-multi-head format, so
+    // old tooling keeps reading these files); everything else writes v2
+    // ("BGMODEL3"), which records the head list before the input stats.
+    const bool legacy = cfg_.heads.size() == 1 &&
+                        cfg_.heads.front() == MetricHead::Size;
+    if (legacy) {
+        const char magic[8] = {'B', 'G', 'M', 'O', 'D', 'E', 'L', '2'};
+        out.write(magic, sizeof magic);
+    } else {
+        const char magic[8] = {'B', 'G', 'M', 'O', 'D', 'E', 'L', '3'};
+        out.write(magic, sizeof magic);
+        const auto num_heads = static_cast<std::uint32_t>(cfg_.heads.size());
+        out.write(reinterpret_cast<const char*>(&num_heads),
+                  sizeof num_heads);
+        for (const MetricHead h : cfg_.heads) {
+            const auto id = static_cast<std::uint8_t>(h);
+            out.write(reinterpret_cast<const char*>(&id), sizeof id);
+        }
+    }
     const auto stats_len = static_cast<std::uint64_t>(in_mean_.size());
     out.write(reinterpret_cast<const char*>(&stats_len), sizeof stats_len);
     out.write(reinterpret_cast<const char*>(in_mean_.data()),
@@ -293,15 +376,68 @@ void BoolGebraModel::save(const std::filesystem::path& path) {
     }
 }
 
+namespace {
+
+/// Read a checkpoint's head list from its magic + (v2 only) head header.
+/// Leaves the stream positioned at the input-stats length field.
+std::vector<MetricHead> read_checkpoint_heads(std::ifstream& in,
+                                              const std::string& path) {
+    char magic[8];
+    in.read(magic, sizeof magic);
+    const std::string tag(magic, 8);
+    if (tag == "BGMODEL2") {
+        // v1: single-head files predate the head header; they are always
+        // the paper's size predictor.
+        return {MetricHead::Size};
+    }
+    if (tag != "BGMODEL3") {
+        throw std::runtime_error("bad model file magic: " + path);
+    }
+    std::uint32_t num_heads = 0;
+    in.read(reinterpret_cast<char*>(&num_heads), sizeof num_heads);
+    if (!in || num_heads == 0 || num_heads > kNumMetricHeads) {
+        throw std::runtime_error("model file head count out of range: " +
+                                 path);
+    }
+    std::vector<MetricHead> heads;
+    heads.reserve(num_heads);
+    bool seen[kNumMetricHeads] = {};
+    for (std::uint32_t i = 0; i < num_heads; ++i) {
+        std::uint8_t id = 0;
+        in.read(reinterpret_cast<char*>(&id), sizeof id);
+        if (!in || id >= kNumMetricHeads) {
+            throw std::runtime_error("model file head id out of range: " +
+                                     path);
+        }
+        if (seen[id]) {
+            throw std::runtime_error("model file repeats a head id: " + path);
+        }
+        seen[id] = true;
+        heads.push_back(static_cast<MetricHead>(id));
+    }
+    // Enforce the model invariants here so a corrupt header surfaces as a
+    // file error (runtime_error naming the path), not as the constructor's
+    // ContractViolation.
+    if (!seen[static_cast<std::size_t>(MetricHead::Size)]) {
+        throw std::runtime_error("model file lacks the size head: " + path);
+    }
+    return heads;
+}
+
+}  // namespace
+
 void BoolGebraModel::load(const std::filesystem::path& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         throw std::runtime_error("cannot read model file: " + path.string());
     }
-    char magic[8];
-    in.read(magic, sizeof magic);
-    if (std::string(magic, 8) != "BGMODEL2") {
-        throw std::runtime_error("bad model file magic: " + path.string());
+    const auto file_heads = read_checkpoint_heads(in, path.string());
+    if (!std::equal(file_heads.begin(), file_heads.end(),
+                    cfg_.heads.begin(), cfg_.heads.end())) {
+        throw std::runtime_error(
+            "model file head list does not match this architecture "
+            "(construct via load_checkpoint() to adopt the file's heads): " +
+            path.string());
     }
     std::uint64_t stats_len = 0;
     in.read(reinterpret_cast<char*>(&stats_len), sizeof stats_len);
@@ -330,6 +466,19 @@ void BoolGebraModel::load(const std::filesystem::path& path) {
             throw std::runtime_error("truncated model file: " + path.string());
         }
     }
+}
+
+BoolGebraModel load_checkpoint(const std::filesystem::path& path,
+                               ModelConfig base) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot read model file: " + path.string());
+    }
+    base.heads = read_checkpoint_heads(in, path.string());
+    in.close();
+    BoolGebraModel model(base);
+    model.load(path);
+    return model;
 }
 
 }  // namespace bg::core

@@ -12,14 +12,21 @@
 /// 64 -> 1000 -> 200 -> 1, dropout 0.1.  `quick()` shrinks the widths so
 /// CPU-only experiment harnesses finish in seconds; the architecture is
 /// identical.
+///
+/// The final linear layer carries one sigmoid-squashed regression column
+/// per configured MetricHead (size / depth / mapped-LUT), sharing the
+/// SAGE trunk and MLP — the default single size head reproduces the
+/// paper's (and the pre-multi-head code's) output bit for bit.
 
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/features.hpp"
+#include "core/metrics.hpp"
 #include "nn/layers.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/sage.hpp"
@@ -41,8 +48,22 @@ struct ModelConfig {
     /// set_input_stats() is called (the trainer does it automatically).
     bool standardize_inputs = true;
 
+    /// Output heads sharing the SAGE trunk and MLP: the final linear layer
+    /// is `heads.size()` wide and every head gets its own sigmoid-squashed
+    /// regression column.  The default single size head is the paper's
+    /// architecture, bit-identical to the pre-multi-head model; the head
+    /// list must contain MetricHead::Size (the universal ranking fallback)
+    /// and no duplicates.  Canonical multi-head order is size, depth, luts.
+    std::vector<MetricHead> heads = {MetricHead::Size};
+
     /// The paper's exact architecture.
     static ModelConfig paper() { return {}; }
+    /// Quick widths with all three metric heads (size, depth, mapped-LUT).
+    static ModelConfig quick_multi() {
+        ModelConfig c = quick();
+        c.heads = {MetricHead::Size, MetricHead::Depth, MetricHead::Luts};
+        return c;
+    }
     /// CPU-friendly widths for the quick experiment harnesses.  Dropout is
     /// disabled: at quick-mode scale (small widths, tens of epochs) the
     /// dropout noise exceeds the inter-sample signal that survives mean
@@ -62,10 +83,21 @@ public:
 
     const ModelConfig& config() const { return cfg_; }
 
+    /// The output heads, in column order of the forward result.
+    std::span<const MetricHead> heads() const { return cfg_.heads; }
+    std::size_t num_heads() const { return cfg_.heads.size(); }
+    bool has_head(MetricHead head) const {
+        return head_index(head).has_value();
+    }
+    /// Column index of `head`, or nullopt when this model was not built
+    /// (or trained) with it.
+    std::optional<std::size_t> head_index(MetricHead head) const;
+
     /// Forward pass for a batch of samples over one graph.
     /// `x` is a (B * N, in_dim) row-major view (zero-copy panels of a
-    /// larger stacked matrix work); returns (B, 1).  `pool` (optional)
-    /// shards the GEMM row panels without changing any output bit.
+    /// larger stacked matrix work); returns (B, num_heads()) with one
+    /// column per configured head.  `pool` (optional) shards the GEMM row
+    /// panels without changing any output bit.
     nn::Matrix forward(nn::ConstMatrixView x, const nn::Csr& csr,
                        std::size_t batch, bool train,
                        bg::ThreadPool* pool = nullptr);
@@ -116,18 +148,52 @@ public:
     /// contiguous.  Chunks of `batch_size` samples go through
     /// forward_eval() as zero-copy row-panel views; results are identical
     /// to per-sample inference.  Const and cache-free: safe to call
-    /// concurrently from many threads on one shared model.
+    /// concurrently from many threads on one shared model.  Returns the
+    /// first head's column (the size head on every canonical config) —
+    /// exactly the single-head behavior.
     std::vector<double> predict_batch(const nn::Csr& csr,
                                       std::size_t num_nodes,
                                       nn::ConstMatrixView stacked,
                                       std::size_t batch_size = kPredictBatch,
                                       bg::ThreadPool* pool = nullptr) const;
 
-    /// Binary weight persistence (architecture must match on load).
+    /// Same batched inference, returning the column of head `head`
+    /// (an index into heads(); resolve metrics with head_index()).  With
+    /// head 0 this is predict_batch bit for bit.
+    std::vector<double> predict_batch_head(
+        const nn::Csr& csr, std::size_t num_nodes,
+        nn::ConstMatrixView stacked, std::size_t head,
+        std::size_t batch_size = kPredictBatch,
+        bg::ThreadPool* pool = nullptr) const;
+
+    /// Weighted blend over the heads — the score path for weighted
+    /// objectives: score_s = sum over heads h of weights[h] * pred(s, h),
+    /// skipping zero weights.  `weights` must be num_heads() wide.
+    std::vector<double> predict_batch_blend(
+        const nn::Csr& csr, std::size_t num_nodes,
+        nn::ConstMatrixView stacked, std::span<const double> weights,
+        std::size_t batch_size = kPredictBatch,
+        bg::ThreadPool* pool = nullptr) const;
+
+    /// Binary weight persistence.  Single-size-head models write the
+    /// legacy v1 layout (magic "BGMODEL2", byte-identical to the
+    /// pre-multi-head format); any other head list writes v2
+    /// ("BGMODEL3"), which prepends the head list to the header.  load()
+    /// accepts both but the architecture — including the head list —
+    /// must match the constructed model; use load_checkpoint() to let the
+    /// file pick the heads.
     void save(const std::filesystem::path& path);
     void load(const std::filesystem::path& path);
 
 private:
+    /// Shared predict_batch/_head/_blend driver: `score` maps one row of
+    /// the (b, num_heads) forward output to the sample's scalar score.
+    std::vector<double> predict_batch_scored(
+        const nn::Csr& csr, std::size_t num_nodes,
+        nn::ConstMatrixView stacked, std::size_t batch_size,
+        bg::ThreadPool* pool,
+        const std::function<double(const nn::Matrix&, std::size_t)>& score)
+        const;
     /// Standardize `x` into `y`, reusing y's storage when already sized.
     void standardize_into(nn::ConstMatrixView x, nn::Matrix& y) const;
     /// Shared chunked-gather path behind predict()/predict_features():
@@ -154,5 +220,14 @@ private:
     // Forward caches for backward.
     std::size_t cache_num_nodes_ = 0;
 };
+
+/// Construct a model whose head list matches the checkpoint at `path` and
+/// load it: a legacy v1 file ("BGMODEL2") loads as a single size head —
+/// size-only, whatever `base.heads` says — and a v2 file ("BGMODEL3")
+/// restores its recorded head list.  `base` supplies everything else
+/// (trunk/MLP widths, standardization flag); its `heads` field is
+/// overwritten by the file's.
+BoolGebraModel load_checkpoint(const std::filesystem::path& path,
+                               ModelConfig base);
 
 }  // namespace bg::core

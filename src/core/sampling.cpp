@@ -93,13 +93,24 @@ SampleRecord evaluate_decisions(const Aig& design, DecisionVector decisions,
 namespace {
 
 /// Evaluate a batch of decision vectors in parallel; the result order
-/// matches the input order, so the outcome is deterministic.
-std::vector<SampleRecord> evaluate_batch(const Aig& design,
-                                         std::vector<DecisionVector> batch,
-                                         const opt::OptParams& params) {
+/// matches the input order, so the outcome is deterministic.  When
+/// `lut_labels` is set, each record's optimized graph is technology-mapped
+/// and the LUT count recorded as the sample's LUT-head label.
+std::vector<SampleRecord> evaluate_batch(
+    const Aig& design, std::vector<DecisionVector> batch,
+    const opt::OptParams& params,
+    const opt::LutMapParams* lut_labels = nullptr) {
     std::vector<SampleRecord> out(batch.size());
     bg::parallel_for(batch.size(), [&](std::size_t i) {
-        out[i] = evaluate_decisions(design, std::move(batch[i]), params);
+        if (lut_labels == nullptr) {
+            out[i] = evaluate_decisions(design, std::move(batch[i]), params);
+            return;
+        }
+        Aig optimized;
+        out[i] = evaluate_decisions(design, std::move(batch[i]), params,
+                                    opt::size_objective(), &optimized);
+        out[i].lut_count = static_cast<long long>(
+            opt::map_to_luts(optimized, *lut_labels).num_luts());
     });
     return out;
 }
@@ -108,19 +119,20 @@ std::vector<SampleRecord> evaluate_batch(const Aig& design,
 
 std::vector<SampleRecord> generate_random_samples(
     const Aig& design, std::size_t n, std::uint64_t seed,
-    const opt::OptParams& params) {
+    const opt::OptParams& params, const opt::LutMapParams* lut_labels) {
     bg::Rng rng(seed);
     std::vector<DecisionVector> batch;
     batch.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         batch.push_back(random_decisions(design, rng));
     }
-    return evaluate_batch(design, std::move(batch), params);
+    return evaluate_batch(design, std::move(batch), params, lut_labels);
 }
 
 std::vector<SampleRecord> generate_guided_samples(
     const Aig& design, std::size_t n, std::uint64_t seed,
-    const opt::OptParams& params, const StaticFeatures* precomputed_static) {
+    const opt::OptParams& params, const StaticFeatures* precomputed_static,
+    const opt::LutMapParams* lut_labels) {
     bg::Rng rng(seed);
     StaticFeatures local;
     if (precomputed_static == nullptr) {
@@ -144,7 +156,7 @@ std::vector<SampleRecord> generate_guided_samples(
         const double frac = fractions[(i - 1) % std::size(fractions)];
         batch.push_back(mutate_decisions(design, base, frac, rng));
     }
-    return evaluate_batch(design, std::move(batch), params);
+    return evaluate_batch(design, std::move(batch), params, lut_labels);
 }
 
 }  // namespace bg::core

@@ -16,6 +16,7 @@
 
 #include "aig/aig.hpp"
 #include "core/features.hpp"
+#include "opt/lut_map.hpp"
 #include "opt/orchestrate.hpp"
 #include "util/rng.hpp"
 
@@ -29,6 +30,12 @@ struct SampleRecord {
     int depth_reduction = 0;             ///< levels removed
     std::size_t final_size = 0;
     std::uint32_t final_depth = 0;
+    /// Mapped K-LUT count of the optimized graph — the training label for
+    /// the model's LUT head.  -1 = not measured (mapping every sample
+    /// costs a lut_map run, so it is opt-in via the generators'
+    /// `lut_labels` parameter); datasets mask the LUT label out for such
+    /// records.
+    long long lut_count = -1;
 };
 
 /// Uniformly random decisions on the AND nodes (None elsewhere).
@@ -56,16 +63,21 @@ SampleRecord evaluate_decisions(const aig::Aig& design,
                                     opt::size_objective(),
                                 aig::Aig* optimized_out = nullptr);
 
-/// N purely random samples (Fig 2 "Random").
+/// N purely random samples (Fig 2 "Random").  When `lut_labels` is
+/// non-null every record additionally carries the K-LUT mapping size of
+/// its optimized graph (SampleRecord::lut_count — the LUT head's label).
 std::vector<SampleRecord> generate_random_samples(
     const aig::Aig& design, std::size_t n, std::uint64_t seed,
-    const opt::OptParams& params = {});
+    const opt::OptParams& params = {},
+    const opt::LutMapParams* lut_labels = nullptr);
 
 /// N priority-guided samples (Fig 2 "Guided"): the base assignment plus
 /// partial random mutations with fractions cycling through 10%..90%.
+/// `lut_labels` works as in generate_random_samples.
 std::vector<SampleRecord> generate_guided_samples(
     const aig::Aig& design, std::size_t n, std::uint64_t seed,
     const opt::OptParams& params = {},
-    const StaticFeatures* precomputed_static = nullptr);
+    const StaticFeatures* precomputed_static = nullptr,
+    const opt::LutMapParams* lut_labels = nullptr);
 
 }  // namespace bg::core

@@ -13,17 +13,29 @@ using nn::Matrix;
 
 namespace {
 
-/// Stack selected samples into a (B*N, F) input and a label vector.
+/// Stack selected samples into a (B*N, F) input plus per-head label and
+/// mask matrices (B, H) in the model's head-column order.  Heads the
+/// dataset never measured (e.g. LUTs on records evaluated without
+/// mapping) get mask 0, so old single-label datasets train the size head
+/// and leave the rest untouched — the per-head masking that keeps
+/// multi-head training backward compatible.
 void make_batch(const Dataset& ds, std::span<const std::size_t> idx,
-                int in_dim, Matrix& x, std::vector<float>& labels) {
+                const ModelConfig& cfg, Matrix& x, Matrix& labels,
+                Matrix& mask) {
     const std::size_t n = ds.num_nodes();
-    x = Matrix(idx.size() * n, static_cast<std::size_t>(in_dim));
-    labels.resize(idx.size());
+    const std::size_t h = cfg.heads.size();
+    x = Matrix(idx.size() * n, static_cast<std::size_t>(cfg.in_dim));
+    labels = Matrix(idx.size(), h);
+    mask = Matrix(idx.size(), h);
     for (std::size_t s = 0; s < idx.size(); ++s) {
         const auto& sample = ds.samples()[idx[s]];
         std::copy(sample.features.begin(), sample.features.end(),
                   x.row(s * n));
-        labels[s] = sample.label;
+        for (std::size_t c = 0; c < h; ++c) {
+            const auto m = static_cast<std::size_t>(cfg.heads[c]);
+            labels.at(s, c) = sample.labels[m];
+            mask.at(s, c) = sample.mask[m];
+        }
     }
 }
 
@@ -40,14 +52,50 @@ double evaluate_loss(BoolGebraModel& model, const Dataset& ds,
     for (std::size_t start = 0; start < indices.size(); start += batch_size) {
         const std::size_t b = std::min(batch_size, indices.size() - start);
         Matrix x;
-        std::vector<float> labels;
-        make_batch(ds, indices.subspan(start, b), model.config().in_dim, x,
-                   labels);
+        Matrix labels;
+        Matrix mask;
+        make_batch(ds, indices.subspan(start, b), model.config(), x, labels,
+                   mask);
         const Matrix pred = model.forward(x, ds.csr(), b, /*train=*/false);
-        total += nn::mse_value(pred, labels) * static_cast<double>(b);
+        total += nn::masked_mse_value(pred, labels, mask) *
+                 static_cast<double>(b);
         count += b;
     }
     return total / static_cast<double>(count);
+}
+
+std::vector<double> evaluate_head_losses(BoolGebraModel& model,
+                                         const Dataset& ds,
+                                         std::span<const std::size_t> indices,
+                                         std::size_t batch_size) {
+    std::vector<double> total(model.num_heads(), 0.0);
+    if (indices.empty()) {
+        return total;
+    }
+    std::vector<double> weight(model.num_heads(), 0.0);
+    for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+        const std::size_t b = std::min(batch_size, indices.size() - start);
+        Matrix x;
+        Matrix labels;
+        Matrix mask;
+        make_batch(ds, indices.subspan(start, b), model.config(), x, labels,
+                   mask);
+        const Matrix pred = model.forward(x, ds.csr(), b, /*train=*/false);
+        // Weight each batch by its per-column *unmasked* count: weighting
+        // by b would deflate a partially-labelled column (a batch with no
+        // LUT measurements contributes loss 0 at full weight).
+        std::vector<std::size_t> counts;
+        const auto losses =
+            nn::masked_mse_per_column(pred, labels, mask, &counts);
+        for (std::size_t h = 0; h < losses.size(); ++h) {
+            total[h] += losses[h] * static_cast<double>(counts[h]);
+            weight[h] += static_cast<double>(counts[h]);
+        }
+    }
+    for (std::size_t h = 0; h < total.size(); ++h) {
+        total[h] = weight[h] > 0.0 ? total[h] / weight[h] : 0.0;
+    }
+    return total;
 }
 
 TrainResult train_model(BoolGebraModel& model, const Dataset& ds,
@@ -110,12 +158,13 @@ TrainResult train_model(BoolGebraModel& model, const Dataset& ds,
                 break;  // batch-norm needs at least two rows
             }
             Matrix x;
-            std::vector<float> labels;
+            Matrix labels;
+            Matrix mask;
             make_batch(ds, std::span(train_idx).subspan(start, b),
-                       model.config().in_dim, x, labels);
+                       model.config(), x, labels, mask);
             model.zero_grad();
             const Matrix pred = model.forward(x, ds.csr(), b, /*train=*/true);
-            const auto loss = nn::mse_loss(pred, labels);
+            const auto loss = nn::masked_mse_loss(pred, labels, mask);
             model.backward(loss.grad);
             opt.step();
             train_loss += loss.loss * static_cast<double>(b);
@@ -216,14 +265,15 @@ MultiTrainResult train_model_multi(BoolGebraModel& model,
                     break;
                 }
                 Matrix x;
-                std::vector<float> labels;
+                Matrix labels;
+                Matrix mask;
                 make_batch(*datasets[d],
                            std::span(train_idx).subspan(start, b),
-                           model.config().in_dim, x, labels);
+                           model.config(), x, labels, mask);
                 model.zero_grad();
                 const Matrix pred = model.forward(x, datasets[d]->csr(), b,
                                                   /*train=*/true);
-                const auto loss = nn::mse_loss(pred, labels);
+                const auto loss = nn::masked_mse_loss(pred, labels, mask);
                 model.backward(loss.grad);
                 opt.step();
                 train_loss += loss.loss * static_cast<double>(b);

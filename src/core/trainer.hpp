@@ -1,9 +1,14 @@
 #pragma once
 
 /// \file trainer.hpp
-/// Training loop for the BoolGebra predictor: mini-batch Adam with MSE
-/// loss and the paper's step-decay schedule; records the testing-loss
-/// curve (Fig 4's series) per epoch.
+/// Training loop for the BoolGebra predictor: mini-batch Adam with
+/// masked multi-head MSE loss and the paper's step-decay schedule;
+/// records the testing-loss curve (Fig 4's series) per epoch.  Each of
+/// the model's heads trains on its own label column (size / depth /
+/// mapped-LUT) with a per-sample mask, so datasets missing a
+/// measurement — e.g. records evaluated without LUT mapping — still
+/// train every head they have labels for, and a single-size-head model
+/// trains exactly as before the multi-head extension.
 
 #include <cstdint>
 #include <vector>
@@ -71,9 +76,16 @@ MultiTrainResult train_model_multi(BoolGebraModel& model,
                                    const TrainConfig& cfg =
                                        TrainConfig::quick());
 
-/// Evaluate MSE of `model` on the given sample indices.
+/// Evaluate masked MSE of `model` on the given sample indices (averaged
+/// over every labelled head entry).
 double evaluate_loss(BoolGebraModel& model, const Dataset& ds,
                      std::span<const std::size_t> indices,
                      std::size_t batch_size = 64);
+
+/// Per-head masked MSE on the given sample indices, in the model's head
+/// order (0 for heads the dataset never labels).
+std::vector<double> evaluate_head_losses(
+    BoolGebraModel& model, const Dataset& ds,
+    std::span<const std::size_t> indices, std::size_t batch_size = 64);
 
 }  // namespace bg::core

@@ -19,6 +19,94 @@ LossResult mse_loss(const Matrix& pred, std::span<const float> target) {
     return out;
 }
 
+namespace {
+
+void check_masked_shapes(const Matrix& pred, const Matrix& target,
+                         const Matrix& mask) {
+    BG_EXPECTS(pred.rows() == target.rows() && pred.cols() == target.cols(),
+               "prediction/target shape mismatch");
+    BG_EXPECTS(pred.rows() == mask.rows() && pred.cols() == mask.cols(),
+               "prediction/mask shape mismatch");
+}
+
+}  // namespace
+
+LossResult masked_mse_loss(const Matrix& pred, const Matrix& target,
+                           const Matrix& mask) {
+    check_masked_shapes(pred, target, mask);
+    LossResult out;
+    out.grad = Matrix(pred.rows(), pred.cols());
+    // Two passes: the gradient scale is 1/count, so count first.
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < mask.rows(); ++i) {
+        for (std::size_t j = 0; j < mask.cols(); ++j) {
+            count += mask.at(i, j) != 0.0F ? 1 : 0;
+        }
+    }
+    if (count == 0) {
+        return out;  // nothing labelled: loss 0, zero gradient
+    }
+    const auto n = static_cast<double>(count);
+    for (std::size_t i = 0; i < pred.rows(); ++i) {
+        for (std::size_t j = 0; j < pred.cols(); ++j) {
+            if (mask.at(i, j) == 0.0F) {
+                out.grad.at(i, j) = 0.0F;
+                continue;
+            }
+            const double d = pred.at(i, j) - target.at(i, j);
+            out.loss += d * d;
+            out.grad.at(i, j) = static_cast<float>(2.0 * d / n);
+        }
+    }
+    out.loss /= n;
+    return out;
+}
+
+double masked_mse_value(const Matrix& pred, const Matrix& target,
+                        const Matrix& mask) {
+    check_masked_shapes(pred, target, mask);
+    double loss = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < pred.rows(); ++i) {
+        for (std::size_t j = 0; j < pred.cols(); ++j) {
+            if (mask.at(i, j) == 0.0F) {
+                continue;
+            }
+            const double d = pred.at(i, j) - target.at(i, j);
+            loss += d * d;
+            ++count;
+        }
+    }
+    return count != 0 ? loss / static_cast<double>(count) : 0.0;
+}
+
+std::vector<double> masked_mse_per_column(const Matrix& pred,
+                                          const Matrix& target,
+                                          const Matrix& mask,
+                                          std::vector<std::size_t>* counts) {
+    check_masked_shapes(pred, target, mask);
+    std::vector<double> loss(pred.cols(), 0.0);
+    std::vector<std::size_t> count(pred.cols(), 0);
+    for (std::size_t i = 0; i < pred.rows(); ++i) {
+        for (std::size_t j = 0; j < pred.cols(); ++j) {
+            if (mask.at(i, j) == 0.0F) {
+                continue;
+            }
+            const double d = pred.at(i, j) - target.at(i, j);
+            loss[j] += d * d;
+            ++count[j];
+        }
+    }
+    for (std::size_t j = 0; j < loss.size(); ++j) {
+        loss[j] = count[j] != 0 ? loss[j] / static_cast<double>(count[j])
+                                : 0.0;
+    }
+    if (counts != nullptr) {
+        *counts = std::move(count);
+    }
+    return loss;
+}
+
 double mse_value(const Matrix& pred, std::span<const float> target) {
     BG_EXPECTS(pred.cols() == 1, "predictions must be a column");
     BG_EXPECTS(pred.rows() == target.size(), "prediction/target mismatch");

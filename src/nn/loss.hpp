@@ -5,6 +5,7 @@
 /// onto normalized labels in [0, 1]).
 
 #include <span>
+#include <vector>
 
 #include "nn/matrix.hpp"
 
@@ -20,5 +21,30 @@ LossResult mse_loss(const Matrix& pred, std::span<const float> target);
 
 /// Loss only (no gradient); for evaluation passes.
 double mse_value(const Matrix& pred, std::span<const float> target);
+
+/// Multi-head MSE with per-entry masks: pred, target and mask are all
+/// (B, H).  Entries whose mask is 0 contribute nothing to the loss or the
+/// gradient, so samples missing a label (e.g. an old dataset without LUT
+/// measurements) still train the heads they do have.  The loss averages
+/// over the *unmasked* entries; with H = 1 and an all-ones mask it equals
+/// mse_loss bit for bit.  An all-zero mask yields loss 0 and a zero
+/// gradient.
+LossResult masked_mse_loss(const Matrix& pred, const Matrix& target,
+                           const Matrix& mask);
+
+/// Loss only (no gradient); for evaluation passes.
+double masked_mse_value(const Matrix& pred, const Matrix& target,
+                        const Matrix& mask);
+
+/// Per-column masked MSE: one value per head (0 when a head has no
+/// unmasked entry).  Diagnostic companion for multi-head evaluation.
+/// `counts`, when given, receives the per-column unmasked entry counts —
+/// callers averaging across batches must weight by these, not the batch
+/// size, or partially-labelled columns deflate.
+std::vector<double> masked_mse_per_column(const Matrix& pred,
+                                          const Matrix& target,
+                                          const Matrix& mask,
+                                          std::vector<std::size_t>* counts =
+                                              nullptr);
 
 }  // namespace bg::nn

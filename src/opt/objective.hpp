@@ -43,6 +43,18 @@ struct CostVector {
     std::uint32_t depth = 0;
 };
 
+/// Weights over the learned metric heads (core::MetricHead order: size,
+/// depth, mapped-LUT) a flow should rank candidates with under an
+/// objective.  The flow maps these onto whatever heads the model actually
+/// carries and falls back to the size head — the paper's size-as-proxy
+/// behavior — when the requested heads are missing (e.g. a legacy
+/// single-head checkpoint).
+struct PredictionWeights {
+    double size = 0.0;
+    double depth = 0.0;
+    double luts = 0.0;
+};
+
 class Objective {
 public:
     virtual ~Objective() = default;
@@ -55,6 +67,13 @@ public:
     /// whose scalar needs the graph itself (MappedLuts) override
     /// measure() and fall back to size here.
     virtual double scalar(std::size_t size, std::uint32_t depth) const = 0;
+
+    /// Which learned metric head(s) should produce the pruning scores for
+    /// this objective.  Default: the size head alone (the paper's
+    /// predictor).
+    virtual PredictionWeights prediction_weights() const {
+        return {1.0, 0.0, 0.0};
+    }
 
     /// True when per-node level annotations must be kept fresh during
     /// orchestration (local depth deltas feed accepts()).
@@ -108,6 +127,9 @@ public:
         (void)size;
         return static_cast<double>(depth);
     }
+    PredictionWeights prediction_weights() const override {
+        return {0.0, 1.0, 0.0};
+    }
     bool needs_depth() const override { return true; }
     double local_gain(const Gain& gain) const override {
         return gain.depth_delta;
@@ -137,6 +159,9 @@ public:
         (void)depth;
         return static_cast<double>(size);  // graph-free fallback
     }
+    PredictionWeights prediction_weights() const override {
+        return {0.0, 0.0, 1.0};
+    }
     bool needs_graph() const override { return true; }
     CostVector measure(const aig::Aig& g) const override;
     bool better(const CostVector& a, const CostVector& b) const override {
@@ -159,6 +184,9 @@ public:
     double scalar(std::size_t size, std::uint32_t depth) const override {
         return alpha_ * static_cast<double>(size) +
                beta_ * static_cast<double>(depth);
+    }
+    PredictionWeights prediction_weights() const override {
+        return {alpha_, beta_, 0.0};
     }
     bool needs_depth() const override { return true; }
     double local_gain(const Gain& gain) const override {

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <numeric>
 
 #include "circuits/registry.hpp"
+#include "core/dataset.hpp"
 #include "core/flow.hpp"
 #include "core/flow_engine.hpp"
+#include "core/trainer.hpp"
 #include "opt/objective.hpp"
 #include "test_helpers.hpp"
 
@@ -191,6 +194,63 @@ TEST(SizeParity, EngineBatchIdenticalAcrossWorkersAndObjectiveSpelling) {
             }
         }
     }
+}
+
+TEST(SizeParity, V1CheckpointFlowsBitIdenticalAtAnyWorkerCount) {
+    // The multi-head redesign's guarantee: a legacy v1 single-head
+    // checkpoint still ranks with the raw size column, so size-objective
+    // flows reproduce the in-memory model's results — the PR-4 behavior —
+    // bit for bit, sequentially and through the engine at any worker
+    // count.
+    const Aig g = bg::circuits::make_benchmark_scaled("b10", 0.4);
+    BoolGebraModel trained(tiny_config());
+    {
+        const auto records = generate_guided_samples(g, 24, 13);
+        const Dataset ds = build_dataset(g, records);
+        TrainConfig tc = TrainConfig::quick();
+        tc.epochs = 8;
+        (void)train_model(trained, ds, tc);  // also fits the input stats
+    }
+    const auto path = std::filesystem::temp_directory_path() /
+                      "bg_parity_v1_checkpoint.bin";
+    trained.save(path);
+    const BoolGebraModel loaded = load_checkpoint(path, tiny_config());
+    EXPECT_EQ(loaded.num_heads(), 1u);
+
+    const FlowConfig fc = flow_config();
+    const auto direct = run_flow(g, trained, fc);
+    const auto via_file = run_flow(g, loaded, fc);
+    expect_flow_equal(direct, via_file);
+    EXPECT_EQ(direct.ranked_by, "size");
+    EXPECT_EQ(via_file.ranked_by, "size");
+
+    const auto jobs = jobs_from_registry(
+        std::vector<std::string>{"b07", "b10"}, 0.3);
+    BatchFlowResult reference;
+    for (const std::size_t workers : {1UL, 2UL, 4UL}) {
+        EngineConfig cfg;
+        cfg.workers = workers;
+        cfg.rounds = 2;
+        cfg.flow = flow_config();
+        FlowEngine engine(cfg);
+        const auto batch = engine.run(jobs, loaded);
+        EXPECT_EQ(batch.ranked_by, "size");
+        if (reference.designs.empty()) {
+            // Worker-count-1 run with the *in-memory* model is the pin.
+            EngineConfig ref_cfg = cfg;
+            ref_cfg.workers = 1;
+            FlowEngine ref_engine(ref_cfg);
+            reference = ref_engine.run(jobs, trained);
+        }
+        ASSERT_EQ(batch.designs.size(), reference.designs.size());
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            expect_flow_equal(batch.designs[j].flow,
+                              reference.designs[j].flow);
+            EXPECT_EQ(batch.designs[j].iterated.final_size,
+                      reference.designs[j].iterated.final_size);
+        }
+    }
+    std::filesystem::remove(path);
 }
 
 TEST(SizeParity, OrchestrateDefaultEqualsExplicitSizeObjective) {

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/*.md.
+
+Verifies that every relative markdown link ([text](path) and
+[text](path#anchor)) resolves to an existing file, and that in-document
+anchors point at a real heading.  External links (http/https/mailto) are
+not fetched -- CI must stay deterministic and offline.
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug rule (lowercase, drop punctuation,
+    spaces to dashes)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(REPO)}: broken link '{target}'")
+            continue
+        if anchor and dest.suffix == ".md":
+            if github_anchor(anchor) not in anchors_of(dest):
+                errors.append(
+                    f"{path.relative_to(REPO)}: missing anchor '{target}'")
+    return errors
+
+
+def main() -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"missing document: {f}", file=sys.stderr)
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} documents: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
