@@ -1,0 +1,120 @@
+/// \file bench_cec.cpp
+/// CEC engine shoot-out: per-engine latency (random simulation, BDD,
+/// incremental SAT) versus the portfolio race on every registry design,
+/// for both an equivalent pair (design vs its rewritten twin) and a
+/// refuted pair (design vs a single flipped output).  Shows where each
+/// engine wins and what the race costs over the best single engine.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aig/cec.hpp"
+#include "bdd/cec_bdd.hpp"
+#include "bench_common.hpp"
+#include "opt/standalone.hpp"
+#include "sat/cec_sat.hpp"
+#include "util/parallel.hpp"
+#include "verify/portfolio.hpp"
+
+namespace {
+
+using bg::aig::Aig;
+using bg::aig::CecVerdict;
+using bg::aig::Lit;
+using bg::aig::Var;
+
+/// Rebuild `source` with the first PO complemented: a definitively
+/// inequivalent twin differing in exactly one output function.
+Aig flip_first_po(const Aig& source) {
+    const Aig src = source.compact();
+    Aig out;
+    std::vector<Lit> translate(src.num_slots(), 0);
+    translate[0] = bg::aig::lit_false;
+    for (std::size_t i = 0; i < src.num_pis(); ++i) {
+        translate[src.pi(i)] = out.add_pi();
+    }
+    for (const Var v : src.topo_ands()) {
+        const Lit f0 = src.fanin0(v);
+        const Lit f1 = src.fanin1(v);
+        translate[v] = out.and_(
+            bg::aig::lit_not_cond(translate[bg::aig::lit_var(f0)],
+                                  bg::aig::lit_is_compl(f0)),
+            bg::aig::lit_not_cond(translate[bg::aig::lit_var(f1)],
+                                  bg::aig::lit_is_compl(f1)));
+    }
+    for (std::size_t i = 0; i < src.num_pos(); ++i) {
+        const Lit po = src.po(i);
+        const Lit t = bg::aig::lit_not_cond(translate[bg::aig::lit_var(po)],
+                                            bg::aig::lit_is_compl(po));
+        out.add_po(i == 0 ? bg::aig::lit_not(t) : t);
+    }
+    return out;
+}
+
+struct Row {
+    double sim_ms = 0.0;
+    double bdd_ms = 0.0;
+    double sat_ms = 0.0;
+    double race_ms = 0.0;
+    CecVerdict verdict = CecVerdict::ProbablyEquivalent;
+    bg::verify::Engine winner = bg::verify::Engine::None;
+};
+
+Row measure(const Aig& a, const Aig& b, bg::ThreadPool& pool) {
+    Row row;
+    {
+        const bg::Stopwatch t;
+        (void)bg::aig::check_equivalence(a, b);
+        row.sim_ms = t.seconds() * 1e3;
+    }
+    {
+        const bg::Stopwatch t;
+        (void)bg::bdd::check_equivalence_bdd(a, b);
+        row.bdd_ms = t.seconds() * 1e3;
+    }
+    {
+        const bg::Stopwatch t;
+        (void)bg::sat::check_equivalence_sat(a, b);
+        row.sat_ms = t.seconds() * 1e3;
+    }
+    {
+        bg::verify::PortfolioCec prover({}, &pool);
+        const bg::Stopwatch t;
+        const auto report = prover.check(a, b);
+        row.race_ms = t.seconds() * 1e3;
+        row.verdict = report.verdict;
+        row.winner = report.engine;
+    }
+    return row;
+}
+
+void print_row(const std::string& label, const Row& r) {
+    std::printf("%-16s %9.2f %9.2f %9.2f %9.2f   %-20s %s\n", label.c_str(),
+                r.sim_ms, r.bdd_ms, r.sat_ms, r.race_ms,
+                to_string(r.verdict).c_str(),
+                bg::verify::to_string(r.winner).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto scale = bgbench::Scale::from_args(argc, argv);
+    scale.banner("CEC engines: sim vs BDD vs SAT vs portfolio race");
+
+    const std::vector<std::string> names = {"b07", "b08", "b09", "b10",
+                                            "b11", "b12", "c2670", "c5315"};
+    bg::ThreadPool pool(3);
+
+    std::printf("%-16s %9s %9s %9s %9s   %-20s %s\n", "design", "sim ms",
+                "bdd ms", "sat ms", "race ms", "verdict", "winner");
+    for (const auto& name : names) {
+        const Aig original = scale.design(name);
+        Aig rewritten = original;
+        (void)bg::opt::standalone_pass(rewritten, bg::opt::OpKind::Rewrite);
+        print_row(name, measure(original, rewritten, pool));
+        print_row(name + " (flip)", measure(original, flip_first_po(original),
+                                            pool));
+    }
+    return 0;
+}

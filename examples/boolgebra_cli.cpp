@@ -63,9 +63,11 @@
 #include "opt/objective.hpp"
 #include "opt/orchestrate.hpp"
 #include "opt/standalone.hpp"
+#include "bdd/cec_bdd.hpp"
 #include "sat/cec_sat.hpp"
 #include "util/progress.hpp"
 #include "util/stats.hpp"
+#include "verify/portfolio.hpp"
 
 using bg::aig::Aig;
 
@@ -82,10 +84,11 @@ int usage() {
         "  flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]\n"
         "           [--workers W] [--scale S] [--seed S] [--model f]\n"
         "           [--random] [--objective size|depth|luts[:K]|weighted:a,b]\n"
+        "           [--verify]\n"
         "  serve    <design...>|--all [flow flags] [--repeat N]\n"
         "           [--swap-model f|fresh] [--swap-after N]\n"
         "  apply    <design> --decisions d.csv [-o out]\n"
-        "  cec      <design1> <design2>\n"
+        "  cec      <design1> <design2> [--engine sim|bdd|sat|portfolio]\n"
         "  map      <design> [-k K]\n"
         "  convert  <in> <out>\n"
         "  list\n"
@@ -327,6 +330,7 @@ FlowArgs parse_flow_args(std::vector<std::string>& args) {
     out.model_path = flag_value(args, "--model");
     out.all = flag_present(args, "--all");
     const bool random = flag_present(args, "--random");
+    out.cfg.flow.verify = flag_present(args, "--verify");
 
     if (objective_arg) {
         out.cfg.flow.objective = bg::opt::make_objective(*objective_arg);
@@ -410,6 +414,17 @@ bg::core::BoolGebraModel make_cli_model(
     return bg::core::BoolGebraModel{bg::core::ModelConfig::quick()};
 }
 
+/// Table cell for a job's verification outcome: "verdict@engine", e.g.
+/// "equivalent@bdd" or "NOT-equivalent@sim".
+std::string verify_cell(
+    const std::optional<bg::verify::VerifyReport>& report) {
+    if (!report) {
+        return "-";
+    }
+    return bg::aig::to_string(report->verdict) + "@" +
+           bg::verify::to_string(report->engine);
+}
+
 int cmd_flow(std::vector<std::string> args) {
     const FlowArgs parsed = parse_flow_args(args);
     const auto jobs = collect_jobs(args, parsed.all, parsed.scale);
@@ -420,6 +435,7 @@ int cmd_flow(std::vector<std::string> args) {
         std::puts("flow requires at least one design (or --all)");
         return 2;
     }
+    const bool verify = parsed.cfg.flow.verify;
 
     const bg::core::BoolGebraModel model = make_cli_model(parsed.model_path);
     bg::core::FlowEngine engine(parsed.cfg);
@@ -427,29 +443,41 @@ int cmd_flow(std::vector<std::string> args) {
 
     // Size ratios (Table I), then the per-metric companions: D-* = depth
     // ratios, V-Best = the configured objective's scalar ratio.
-    bg::TablePrinter table({"design", "ands", "depth", "BG-Mean", "BG-Best",
-                            "D-Best", "V-Best", "final", "D-final", "rounds",
-                            "sec"});
-    for (const auto& d : batch.designs) {
-        table.add_row({d.name, std::to_string(d.original_size),
-                       std::to_string(d.flow.original_depth),
-                       bg::TablePrinter::fmt(d.flow.bg_mean_ratio),
-                       bg::TablePrinter::fmt(d.flow.bg_best_ratio),
-                       bg::TablePrinter::fmt(d.flow.bg_best_depth_ratio),
-                       bg::TablePrinter::fmt(d.flow.bg_best_value_ratio),
-                       bg::TablePrinter::fmt(d.iterated.final_ratio),
-                       bg::TablePrinter::fmt(d.iterated.final_depth_ratio),
-                       std::to_string(d.iterated.rounds()),
-                       bg::TablePrinter::fmt(d.seconds, 2)});
+    std::vector<std::string> headers = {"design", "ands", "depth", "BG-Mean",
+                                        "BG-Best", "D-Best", "V-Best",
+                                        "final", "D-final", "rounds", "sec"};
+    if (verify) {
+        headers.push_back("verify");
     }
-    table.add_row({"Avg.", "-", "-",
-                   bg::TablePrinter::fmt(batch.avg_bg_mean_ratio),
-                   bg::TablePrinter::fmt(batch.avg_bg_best_ratio),
-                   bg::TablePrinter::fmt(batch.avg_bg_best_depth_ratio),
-                   bg::TablePrinter::fmt(batch.avg_bg_best_value_ratio),
-                   bg::TablePrinter::fmt(batch.avg_final_ratio),
-                   bg::TablePrinter::fmt(batch.avg_final_depth_ratio), "-",
-                   "-"});
+    bg::TablePrinter table(headers);
+    for (const auto& d : batch.designs) {
+        std::vector<std::string> row = {
+            d.name, std::to_string(d.original_size),
+            std::to_string(d.flow.original_depth),
+            bg::TablePrinter::fmt(d.flow.bg_mean_ratio),
+            bg::TablePrinter::fmt(d.flow.bg_best_ratio),
+            bg::TablePrinter::fmt(d.flow.bg_best_depth_ratio),
+            bg::TablePrinter::fmt(d.flow.bg_best_value_ratio),
+            bg::TablePrinter::fmt(d.iterated.final_ratio),
+            bg::TablePrinter::fmt(d.iterated.final_depth_ratio),
+            std::to_string(d.iterated.rounds()),
+            bg::TablePrinter::fmt(d.seconds, 2)};
+        if (verify) {
+            row.push_back(verify_cell(d.verification));
+        }
+        table.add_row(std::move(row));
+    }
+    std::vector<std::string> avg = {
+        "Avg.", "-", "-", bg::TablePrinter::fmt(batch.avg_bg_mean_ratio),
+        bg::TablePrinter::fmt(batch.avg_bg_best_ratio),
+        bg::TablePrinter::fmt(batch.avg_bg_best_depth_ratio),
+        bg::TablePrinter::fmt(batch.avg_bg_best_value_ratio),
+        bg::TablePrinter::fmt(batch.avg_final_ratio),
+        bg::TablePrinter::fmt(batch.avg_final_depth_ratio), "-", "-"};
+    if (verify) {
+        avg.push_back("-");
+    }
+    table.add_row(std::move(avg));
     table.print();
     std::printf("\nobjective %s (ranked by %s): %zu designs, %zu samples in "
                 "%.2fs on %zu workers (%.2f designs/s, %.1f samples/s)\n",
@@ -457,6 +485,14 @@ int cmd_flow(std::vector<std::string> args) {
                 batch.designs.size(), batch.total_samples,
                 batch.total_seconds, engine.workers(),
                 batch.designs_per_second, batch.samples_per_second);
+    if (verify) {
+        std::printf("verification: %zu verified, %zu refuted, %zu unknown\n",
+                    batch.jobs_verified, batch.jobs_refuted,
+                    batch.jobs_unknown);
+        if (batch.jobs_refuted > 0) {
+            return 1;  // a committed result failed its equivalence proof
+        }
+    }
     return 0;
 }
 
@@ -525,8 +561,12 @@ int cmd_serve(std::vector<std::string> args) {
         }
     }
 
-    bg::TablePrinter table({"job", "design", "ands", "BG-Best", "D-Best",
-                            "V-Best", "final", "sec"});
+    std::vector<std::string> headers = {"job", "design", "ands", "BG-Best",
+                                        "D-Best", "V-Best", "final", "sec"};
+    if (scfg.flow.verify) {
+        headers.push_back("verify");
+    }
+    bg::TablePrinter table(headers);
     // Jobs bound to different snapshots (mid-stream --swap-model) may
     // rank differently; report every ranking seen, in encounter order.
     std::vector<std::string> rankings;
@@ -536,13 +576,17 @@ int cmd_serve(std::vector<std::string> args) {
             rankings.end()) {
             rankings.push_back(d.flow.ranked_by);
         }
-        table.add_row({std::to_string(i), d.name,
-                       std::to_string(d.original_size),
-                       bg::TablePrinter::fmt(d.flow.bg_best_ratio),
-                       bg::TablePrinter::fmt(d.flow.bg_best_depth_ratio),
-                       bg::TablePrinter::fmt(d.flow.bg_best_value_ratio),
-                       bg::TablePrinter::fmt(d.iterated.final_ratio),
-                       bg::TablePrinter::fmt(d.seconds, 2)});
+        std::vector<std::string> row = {
+            std::to_string(i), d.name, std::to_string(d.original_size),
+            bg::TablePrinter::fmt(d.flow.bg_best_ratio),
+            bg::TablePrinter::fmt(d.flow.bg_best_depth_ratio),
+            bg::TablePrinter::fmt(d.flow.bg_best_value_ratio),
+            bg::TablePrinter::fmt(d.iterated.final_ratio),
+            bg::TablePrinter::fmt(d.seconds, 2)};
+        if (scfg.flow.verify) {
+            row.push_back(verify_cell(d.verification));
+        }
+        table.add_row(std::move(row));
     }
     service.stop();
     table.print();
@@ -567,6 +611,20 @@ int cmd_serve(std::vector<std::string> args) {
                 st.p50_latency_seconds, st.p95_latency_seconds,
                 st.busy_seconds,
                 static_cast<unsigned long long>(st.model_swaps));
+    if (scfg.flow.verify) {
+        std::printf("verification: %llu verified, %llu refuted, "
+                    "%llu unknown, %llu unverified "
+                    "(cache %llu/%llu hits)\n",
+                    static_cast<unsigned long long>(st.jobs_verified),
+                    static_cast<unsigned long long>(st.jobs_refuted),
+                    static_cast<unsigned long long>(st.jobs_unknown),
+                    static_cast<unsigned long long>(st.jobs_unverified),
+                    static_cast<unsigned long long>(st.verify_cache_hits),
+                    static_cast<unsigned long long>(st.verify_cache_lookups));
+        if (st.jobs_refuted > 0) {
+            return 1;
+        }
+    }
     return 0;
 }
 
@@ -590,6 +648,83 @@ int cmd_apply(Aig g, std::vector<std::string> args) {
         save_design(g, *out_arg);
     }
     return 0;
+}
+
+/// Standalone equivalence check.  Default races all three engines via the
+/// portfolio; --engine pins one back end.  Exit codes: 0 = proven
+/// equivalent, 1 = refuted (counterexample printed), 3 = undecided within
+/// the budgets.
+int cmd_cec(std::vector<std::string> args) {
+    const auto engine_arg = flag_value(args, "--engine");
+    if (args.size() != 2) {
+        std::puts("cec requires exactly two designs");
+        return 2;
+    }
+    const Aig a = load_design(args[0]);
+    const Aig b = load_design(args[1]);
+    if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+        std::fprintf(stderr,
+                     "error: %s (%zu PIs, %zu POs) and %s (%zu PIs, %zu "
+                     "POs) have different interfaces\n",
+                     args[0].c_str(), a.num_pis(), a.num_pos(),
+                     args[1].c_str(), b.num_pis(), b.num_pos());
+        return 2;
+    }
+    const std::string engine = engine_arg.value_or("portfolio");
+
+    bg::verify::VerifyReport report;
+    if (engine == "sim") {
+        const bg::Stopwatch watch;
+        auto r = bg::aig::check_equivalence_full(a, b);
+        report.verdict = r.verdict;
+        report.engine = bg::verify::Engine::Simulation;
+        report.counterexample = std::move(r.counterexample);
+        report.seconds = watch.seconds();
+    } else if (engine == "bdd") {
+        const bg::Stopwatch watch;
+        report.verdict = bg::bdd::check_equivalence_bdd(a, b);
+        report.engine = bg::verify::Engine::Bdd;
+        report.seconds = watch.seconds();
+    } else if (engine == "sat") {
+        const bg::Stopwatch watch;
+        auto r = bg::sat::check_equivalence_sat_full(a, b);
+        report.verdict = r.verdict;
+        report.engine = bg::verify::Engine::Sat;
+        report.counterexample = std::move(r.counterexample);
+        report.seconds = watch.seconds();
+    } else if (engine == "portfolio") {
+        bg::verify::PortfolioCec prover;
+        report = prover.check(a, b);
+    } else {
+        std::fprintf(stderr,
+                     "error: unknown engine '%s' "
+                     "(sim, bdd, sat or portfolio)\n",
+                     engine.c_str());
+        return 2;
+    }
+
+    std::printf("%s (engine %s, %.3fs)\n",
+                bg::aig::to_string(report.verdict).c_str(),
+                bg::verify::to_string(report.engine).c_str(),
+                report.seconds);
+    if (report.verdict == bg::aig::CecVerdict::NotEquivalent &&
+        !report.counterexample.empty()) {
+        std::string bits;
+        bits.reserve(report.counterexample.size());
+        for (const bool v : report.counterexample) {
+            bits += v ? '1' : '0';
+        }
+        std::printf("counterexample (PI order): %s\n", bits.c_str());
+    }
+    switch (report.verdict) {
+        case bg::aig::CecVerdict::Equivalent:
+            return 0;
+        case bg::aig::CecVerdict::NotEquivalent:
+            return 1;
+        case bg::aig::CecVerdict::ProbablyEquivalent:
+            return 3;
+    }
+    return 3;
 }
 
 }  // namespace
@@ -641,19 +776,8 @@ int main(int argc, char** argv) {
             args.erase(args.begin());
             return cmd_apply(std::move(g), std::move(args));
         }
-        if (cmd == "cec" && args.size() == 2) {
-            const Aig a = load_design(args[0]);
-            const Aig b = load_design(args[1]);
-            auto verdict = bg::aig::check_equivalence(a, b);
-            if (verdict == bg::aig::CecVerdict::ProbablyEquivalent) {
-                // Simulation could not decide: escalate to the SAT engine.
-                verdict = bg::sat::check_equivalence_sat(a, b);
-                std::printf("%s (SAT-proven)\n",
-                            bg::aig::to_string(verdict).c_str());
-            } else {
-                std::printf("%s\n", bg::aig::to_string(verdict).c_str());
-            }
-            return verdict == bg::aig::CecVerdict::NotEquivalent ? 1 : 0;
+        if (cmd == "cec" && !args.empty()) {
+            return cmd_cec(std::move(args));
         }
         if (cmd == "map" && !args.empty()) {
             Aig g = load_design(args[0]);

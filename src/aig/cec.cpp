@@ -1,5 +1,9 @@
 #include "aig/cec.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
 #include "aig/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -19,8 +23,15 @@ std::string to_string(CecVerdict v) {
 
 namespace {
 
-bool po_signatures_match(const Aig& a, const Aig& b, const SimVectors& pats,
-                         std::uint64_t valid_mask_last_word) {
+/// Location of the first differing pattern between two PO signature sets.
+struct Mismatch {
+    bool found = false;
+    std::size_t word = 0;
+    unsigned bit = 0;
+};
+
+Mismatch find_mismatch(const Aig& a, const Aig& b, const SimVectors& pats,
+                       std::uint64_t valid_mask_last_word) {
     const auto sa = po_signatures(a, simulate(a, pats));
     const auto sb = po_signatures(b, simulate(b, pats));
     for (std::size_t i = 0; i < sa.size(); ++i) {
@@ -32,48 +43,133 @@ bool po_signatures_match(const Aig& a, const Aig& b, const SimVectors& pats,
                 diff &= valid_mask_last_word;
             }
             if (diff != 0) {
-                return false;
+                Mismatch mm;
+                mm.found = true;
+                mm.word = w;
+                mm.bit = static_cast<unsigned>(
+                    std::countr_zero(diff));
+                return mm;
             }
         }
     }
-    return true;
+    return {};
 }
 
 }  // namespace
 
-CecVerdict check_equivalence(const Aig& a, const Aig& b,
-                             const CecOptions& opts) {
+CecResult check_equivalence_full(const Aig& a, const Aig& b,
+                                 const CecOptions& opts) {
     BG_EXPECTS(a.num_pis() == b.num_pis(),
                "equivalence check requires matching PI counts");
     BG_EXPECTS(a.num_pos() == b.num_pos(),
                "equivalence check requires matching PO counts");
 
+    CecResult res;
     const std::size_t n = a.num_pis();
     if (n <= opts.exhaustive_pi_limit) {
         const auto pats = exhaustive_patterns(n);
         const std::uint64_t mask =
             n >= 6 ? ~0ULL : ((1ULL << (std::size_t{1} << n)) - 1);
-        return po_signatures_match(a, b, pats, mask)
-                   ? CecVerdict::Equivalent
-                   : CecVerdict::NotEquivalent;
+        const Mismatch mm = find_mismatch(a, b, pats, mask);
+        if (!mm.found) {
+            res.verdict = CecVerdict::Equivalent;
+            return res;
+        }
+        // Minterm index encodes the PI assignment directly.
+        const std::uint64_t minterm = 64 * mm.word + mm.bit;
+        res.counterexample.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            res.counterexample[i] = ((minterm >> i) & 1ULL) != 0;
+        }
+        res.verdict = CecVerdict::NotEquivalent;
+        return res;
     }
 
+    const auto start = std::chrono::steady_clock::now();
+    const auto stopped = [&] {
+        if (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+            return true;
+        }
+        if (opts.timeout_seconds > 0.0) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            return elapsed.count() > opts.timeout_seconds;
+        }
+        return false;
+    };
+
     bg::Rng rng(opts.seed);
-    // Split the budget into a few rounds to bound peak memory.
-    const std::size_t rounds = 4;
-    const std::size_t words_per_round =
-        std::max<std::size_t>(1, opts.random_words / rounds);
-    for (std::size_t r = 0; r < rounds; ++r) {
-        const auto pats = random_patterns(n, words_per_round, rng);
-        if (!po_signatures_match(a, b, pats, ~0ULL)) {
-            return CecVerdict::NotEquivalent;
+    // Chunk the budget to bound peak memory, but honor opts.random_words
+    // exactly: the final chunk carries whatever remainder is left (the old
+    // fixed-round split silently dropped remainders and over-ran budgets
+    // smaller than the round count).
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (opts.random_words + 3) / 4);
+    std::size_t remaining = opts.random_words;
+    while (remaining > 0) {
+        if (stopped()) {
+            return res;  // ProbablyEquivalent, words so far
+        }
+        const std::size_t words = std::min(chunk, remaining);
+        const auto pats = random_patterns(n, words, rng);
+        res.words_simulated += words;
+        remaining -= words;
+        const Mismatch mm = find_mismatch(a, b, pats, ~0ULL);
+        if (mm.found) {
+            res.counterexample.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                res.counterexample[i] =
+                    ((pats[i][mm.word] >> mm.bit) & 1ULL) != 0;
+            }
+            res.verdict = CecVerdict::NotEquivalent;
+            return res;
         }
     }
-    return CecVerdict::ProbablyEquivalent;
+    return res;  // ProbablyEquivalent after the full budget
+}
+
+CecVerdict check_equivalence(const Aig& a, const Aig& b,
+                             const CecOptions& opts) {
+    return check_equivalence_full(a, b, opts).verdict;
 }
 
 bool likely_equivalent(const Aig& a, const Aig& b, const CecOptions& opts) {
     return check_equivalence(a, b, opts) != CecVerdict::NotEquivalent;
+}
+
+std::uint64_t structural_fingerprint(const Aig& g) {
+    // splitmix64-style mixing over a numbering-independent rendering:
+    // nodes are renumbered densely (const = 0, PI i = 1 + i, ANDs in
+    // topological order after), so tombstones and historical var ids do
+    // not perturb the fingerprint.
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        v += 0x9E3779B97F4A7C15ULL;
+        v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        v = (v ^ (v >> 27)) * 0x94D049BB133111EBULL;
+        v ^= v >> 31;
+        h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    };
+    std::vector<std::uint32_t> renum(g.num_slots(), 0);
+    for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        renum[g.pi(i)] = static_cast<std::uint32_t>(1 + i);
+    }
+    std::uint32_t next = static_cast<std::uint32_t>(1 + g.num_pis());
+    mix(g.num_pis());
+    mix(g.num_pos());
+    const auto mapped = [&renum](Lit l) {
+        return (static_cast<std::uint64_t>(renum[lit_var(l)]) << 1) |
+               (lit_is_compl(l) ? 1ULL : 0ULL);
+    };
+    for (const Var v : g.topo_ands()) {
+        mix((mapped(g.fanin0(v)) << 32) | mapped(g.fanin1(v)));
+        renum[v] = next++;
+    }
+    for (const Lit po : g.pos()) {
+        mix(mapped(po));
+    }
+    return h;
 }
 
 }  // namespace bg::aig

@@ -8,17 +8,24 @@
 /// equivalent".  Every BoolGebra transformation is additionally correct by
 /// construction (window-local truth-table equality), so the random mode is
 /// a safety net, not the primary argument.
+///
+/// This engine is one of three interchangeable CEC back ends (simulation
+/// here, BDD in bdd/cec_bdd.hpp, SAT in sat/cec_sat.hpp) raced by
+/// bg::verify::PortfolioCec; the `cancel`/`timeout_seconds` options are
+/// the cooperative early-stop hooks the portfolio drives.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "aig/aig.hpp"
 
 namespace bg::aig {
 
 enum class CecVerdict {
-    Equivalent,          ///< proven by exhaustive simulation
-    ProbablyEquivalent,  ///< no counterexample among random patterns
+    Equivalent,          ///< proven (exhaustive simulation / BDD / SAT)
+    ProbablyEquivalent,  ///< no counterexample within the budget
     NotEquivalent,       ///< counterexample found (definitive)
 };
 
@@ -27,9 +34,31 @@ std::string to_string(CecVerdict v);
 struct CecOptions {
     /// Use exhaustive simulation when num_pis <= this bound.
     unsigned exhaustive_pi_limit = 14;
-    /// Random words per PI in the fallback (64 patterns each).
+    /// Random words per PI in the fallback (64 patterns each).  Honored
+    /// exactly: the budget is split into chunks to bound peak memory, but
+    /// precisely this many words are simulated overall.
     std::size_t random_words = 2048;
     std::uint64_t seed = 0xB001'6EB2A;
+    /// Cooperative cancellation: checked between simulation chunks; a set
+    /// flag degrades the verdict to ProbablyEquivalent.  The pointee must
+    /// outlive the call (the portfolio prover owns it).
+    const std::atomic<bool>* cancel = nullptr;
+    /// Wall-clock budget in seconds (0 = unlimited), checked at the same
+    /// points as `cancel`.
+    double timeout_seconds = 0.0;
+};
+
+/// Full outcome of a simulation equivalence check.
+struct CecResult {
+    CecVerdict verdict = CecVerdict::ProbablyEquivalent;
+    /// One differing PI assignment (indexed by PI position); set exactly
+    /// when verdict == NotEquivalent.  Real by construction: it was found
+    /// by simulating both designs.
+    std::vector<bool> counterexample;
+    /// Random words actually simulated — equals opts.random_words unless
+    /// the check refuted, was cancelled or timed out early; 0 on the
+    /// exhaustive path.
+    std::size_t words_simulated = 0;
 };
 
 /// Check that a and b implement the same multi-output function.
@@ -37,8 +66,20 @@ struct CecOptions {
 CecVerdict check_equivalence(const Aig& a, const Aig& b,
                              const CecOptions& opts = {});
 
+/// As check_equivalence, additionally reporting the counterexample and
+/// the exact pattern-budget accounting.
+CecResult check_equivalence_full(const Aig& a, const Aig& b,
+                                 const CecOptions& opts = {});
+
 /// Convenience predicate: Equivalent or ProbablyEquivalent.
 bool likely_equivalent(const Aig& a, const Aig& b,
                        const CecOptions& opts = {});
+
+/// Order-stable 64-bit fingerprint of an AIG's structure: the constant,
+/// PI count, every live AND's (renumbered) fanin literal pair in
+/// topological order, and the PO literals.  Equal graphs always collide;
+/// distinct graphs collide with 2^-64 probability — the key the portfolio
+/// prover's result cache uses for "same miter asked twice".
+std::uint64_t structural_fingerprint(const Aig& g);
 
 }  // namespace bg::aig

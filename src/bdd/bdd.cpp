@@ -85,6 +85,24 @@ bool BddManager::evaluate(Ref f, const std::vector<bool>& assignment) const {
     return f == bdd_true;
 }
 
+std::vector<bool> BddManager::find_satisfying(Ref f) const {
+    if (f == bdd_false) {
+        return {};
+    }
+    std::vector<bool> assignment(num_vars_, false);
+    while (f > bdd_true) {
+        const auto& n = nodes_[f];
+        // Reduced diagram: any child other than bdd_false is satisfiable.
+        if (n.high != bdd_false) {
+            assignment[n.var] = true;
+            f = n.high;
+        } else {
+            f = n.low;
+        }
+    }
+    return assignment;
+}
+
 double BddManager::count_minterms(Ref f) {
     // count(f) relative to the full space of num_vars_ variables: each
     // node's count scales by 2^(child_var - var - 1) skipped levels.

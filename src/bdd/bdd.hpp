@@ -52,6 +52,14 @@ public:
     /// Evaluate under a complete assignment (indexed by variable).
     bool evaluate(Ref f, const std::vector<bool>& assignment) const;
 
+    /// One satisfying assignment of `f` over all num_vars() variables
+    /// (variables off f's support default to false); empty when
+    /// f == bdd_false.  Exists for every other node: in a reduced diagram
+    /// only bdd_false denotes the unsatisfiable function, so a greedy
+    /// walk away from it always reaches bdd_true.  The BDD CEC engine
+    /// uses this to turn a differing output pair into a counterexample.
+    std::vector<bool> find_satisfying(Ref f) const;
+
     /// Number of satisfying assignments over all num_vars() variables
     /// (exact as long as it fits a double's integer range).
     double count_minterms(Ref f);

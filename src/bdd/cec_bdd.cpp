@@ -1,11 +1,25 @@
 #include "bdd/cec_bdd.hpp"
 
+#include <chrono>
+
 #include "util/contracts.hpp"
 
 namespace bg::bdd {
 
-std::vector<BddManager::Ref> build_po_bdds(BddManager& mgr,
-                                           const aig::Aig& g) {
+namespace {
+
+/// Internal unwind for a cancelled/timed-out build; never escapes this
+/// translation unit.
+struct BddCancelled {};
+
+/// As build_po_bdds, polling `stop` every 64 AND gates so a losing BDD
+/// build can be abandoned quickly: single ITE calls on a blown-up
+/// diagram dominate the build tail, so a coarse poll would let a
+/// cancelled build run long after another engine already won the race.
+template <typename StopFn>
+std::vector<BddManager::Ref> build_po_bdds_cancellable(BddManager& mgr,
+                                                       const aig::Aig& g,
+                                                       StopFn&& stop) {
     BG_EXPECTS(mgr.num_vars() >= g.num_pis(),
                "manager must have one variable per PI");
     std::vector<BddManager::Ref> node_bdd(g.num_slots(),
@@ -17,7 +31,11 @@ std::vector<BddManager::Ref> build_po_bdds(BddManager& mgr,
         const auto r = node_bdd[aig::lit_var(l)];
         return aig::lit_is_compl(l) ? mgr.not_(r) : r;
     };
+    std::size_t gates = 0;
     for (const aig::Var v : g.topo_ands()) {
+        if ((++gates & 63U) == 0 && stop()) {
+            throw BddCancelled{};
+        }
         node_bdd[v] = mgr.and_(lit_bdd(g.fanin0(v)), lit_bdd(g.fanin1(v)));
     }
     std::vector<BddManager::Ref> pos;
@@ -28,25 +46,68 @@ std::vector<BddManager::Ref> build_po_bdds(BddManager& mgr,
     return pos;
 }
 
-aig::CecVerdict check_equivalence_bdd(const aig::Aig& a, const aig::Aig& b,
-                                      const BddCecOptions& opts) {
+}  // namespace
+
+std::vector<BddManager::Ref> build_po_bdds(BddManager& mgr,
+                                           const aig::Aig& g) {
+    return build_po_bdds_cancellable(mgr, g, [] { return false; });
+}
+
+BddCecResult check_equivalence_bdd_full(const aig::Aig& a, const aig::Aig& b,
+                                        const BddCecOptions& opts) {
     BG_EXPECTS(a.num_pis() == b.num_pis(),
                "equivalence check requires matching PI counts");
     BG_EXPECTS(a.num_pos() == b.num_pos(),
                "equivalence check requires matching PO counts");
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point deadline = Clock::time_point::max();
+    if (opts.timeout_seconds > 0.0) {
+        deadline = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(opts.timeout_seconds));
+    }
+    const auto stop = [&opts, deadline] {
+        if (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+            return true;
+        }
+        return opts.timeout_seconds > 0.0 && Clock::now() >= deadline;
+    };
+    BddCecResult res;
+    if (stop()) {
+        // Pre-cancelled (e.g. another portfolio engine already won): the
+        // in-build poll only fires every 256 gates, so small designs need
+        // this upfront check to degrade deterministically.
+        return res;
+    }
     try {
         BddManager mgr(static_cast<unsigned>(a.num_pis()), opts.node_limit);
-        const auto pa = build_po_bdds(mgr, a);
-        const auto pb = build_po_bdds(mgr, b);
+        const auto pa = build_po_bdds_cancellable(mgr, a, stop);
+        const auto pb = build_po_bdds_cancellable(mgr, b, stop);
         for (std::size_t i = 0; i < pa.size(); ++i) {
-            if (pa[i] != pb[i]) {
-                return aig::CecVerdict::NotEquivalent;  // canonical forms
+            if (pa[i] != pb[i]) {  // canonical forms
+                res.verdict = aig::CecVerdict::NotEquivalent;
+                try {
+                    res.counterexample =
+                        mgr.find_satisfying(mgr.xor_(pa[i], pb[i]));
+                } catch (const BddOverflow&) {
+                    // Witness lost, verdict unaffected.
+                }
+                return res;
             }
         }
-        return aig::CecVerdict::Equivalent;
+        res.verdict = aig::CecVerdict::Equivalent;
+        return res;
     } catch (const BddOverflow&) {
-        return aig::CecVerdict::ProbablyEquivalent;
+        return res;
+    } catch (const BddCancelled&) {
+        return res;
     }
+}
+
+aig::CecVerdict check_equivalence_bdd(const aig::Aig& a, const aig::Aig& b,
+                                      const BddCecOptions& opts) {
+    return check_equivalence_bdd_full(a, b, opts).verdict;
 }
 
 }  // namespace bg::bdd

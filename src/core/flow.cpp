@@ -307,6 +307,21 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                                   ? res.best_cost.value /
                                         res.original_cost.value
                                   : 1.0;
+
+    if (cfg.verify) {
+        // Re-materialize the winner (deterministic re-run keeps peak
+        // memory flat: no need to retain k optimized graphs above) and
+        // prove it against the input design.
+        Aig best_graph;
+        (void)evaluate_decisions(design, decisions[res.selected[best_idx]],
+                                 cfg.opt, obj, &best_graph);
+        if (ctx.prover != nullptr) {
+            res.verification = ctx.prover->check(design, best_graph);
+        } else {
+            verify::PortfolioCec prover(cfg.verify_opts, ctx.pool);
+            res.verification = prover.check(design, best_graph);
+        }
+    }
     return res;
 }
 

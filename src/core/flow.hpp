@@ -19,6 +19,7 @@
 #include "core/sampling.hpp"
 #include "opt/objective.hpp"
 #include "util/parallel.hpp"
+#include "verify/portfolio.hpp"
 
 namespace bg::core {
 
@@ -41,6 +42,16 @@ struct FlowConfig {
     /// evaluated candidate wins.  Falls back to the size head when the
     /// model lacks the requested head.
     std::optional<MetricHead> ranking_head;
+    /// Verify the committed candidate: after the objective picks the
+    /// winner, re-materialize its optimized graph and prove it equivalent
+    /// to the input design with the portfolio CEC (FlowResult records the
+    /// verdict).  Every transform is correct by construction, so this is
+    /// the production gate against orchestration bugs, not a per-sample
+    /// cost.
+    bool verify = false;
+    /// Engine budgets for the verification gate (ignored when the caller
+    /// supplies FlowContext::prover, which carries its own options).
+    verify::PortfolioOptions verify_opts;
 };
 
 /// The objective a config resolves to (size when unset).
@@ -125,6 +136,9 @@ struct FlowResult {
     double bg_mean_value_ratio = 1.0;
     /// The objective-best decision vector (for committing).
     opt::DecisionVector best_decisions;
+    /// Portfolio-CEC verdict on the best candidate vs the input design;
+    /// set exactly when FlowConfig::verify was on.
+    std::optional<verify::VerifyReport> verification;
 };
 
 /// Estimate the applied-op trace without running Algorithm 1: operation
@@ -148,6 +162,11 @@ struct FlowContext {
     const StaticFeatures* static_features = nullptr;
     const GraphCsr* csr = nullptr;
     ThreadPool* pool = nullptr;  ///< inner loops run here when set
+    /// Shared portfolio prover for FlowConfig::verify (the FlowService
+    /// passes its long-lived instance so the verdict cache spans jobs).
+    /// Null + verify => run_flow builds a transient one from
+    /// cfg.verify_opts on the same pool.
+    verify::PortfolioCec* prover = nullptr;
 };
 
 /// Run the full sample -> prune -> evaluate flow on one design.  The

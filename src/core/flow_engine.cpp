@@ -14,7 +14,8 @@ using aig::Aig;
 DesignFlowResult run_design_flow(const DesignJob& job,
                                  const BoolGebraModel& model,
                                  const FlowConfig& flow_cfg,
-                                 std::size_t rounds, ThreadPool* pool) {
+                                 std::size_t rounds, ThreadPool* pool,
+                                 verify::PortfolioCec* prover) {
     BG_EXPECTS(rounds >= 1, "a design flow needs at least one round");
     const opt::Objective& obj = flow_objective(flow_cfg);
     DesignFlowResult res;
@@ -25,6 +26,10 @@ DesignFlowResult run_design_flow(const DesignJob& job,
     const bg::Stopwatch watch;
     Aig current = job.design;
     FlowConfig round_cfg = flow_cfg;
+    // Iterated flows are proven once end-to-end below (final committed
+    // graph vs input design) — cheaper and strictly stronger than proving
+    // each round; a single uncommitted round verifies inside run_flow.
+    round_cfg.verify = flow_cfg.verify && rounds == 1;
     for (std::size_t round = 0; round < rounds; ++round) {
         round_cfg.seed = flow_cfg.seed + round;  // fresh samples per round
         // Per-round caches shared by every flow step of this design.
@@ -35,6 +40,7 @@ DesignFlowResult run_design_flow(const DesignJob& job,
         ctx.static_features = &st;
         ctx.csr = &csr;
         ctx.pool = pool;
+        ctx.prover = prover;
         const FlowResult flow = run_flow(current, model, round_cfg, ctx);
         res.samples_run += flow.samples_evaluated;
         // Productive = the objective-best strictly improves on the round's
@@ -66,6 +72,7 @@ DesignFlowResult run_design_flow(const DesignJob& job,
         res.iterated.final_ratio = res.flow.bg_best_ratio;
         res.iterated.final_depth = res.flow.best_cost.depth;
         res.iterated.final_depth_ratio = res.flow.bg_best_depth_ratio;
+        res.verification = res.flow.verification;
     } else {
         res.iterated.final_size = current.num_ands();
         res.iterated.final_ratio =
@@ -77,6 +84,15 @@ DesignFlowResult run_design_flow(const DesignJob& job,
                 ? static_cast<double>(res.iterated.final_depth) /
                       static_cast<double>(res.iterated.original_depth)
                 : 1.0;
+        if (flow_cfg.verify) {
+            // One end-to-end proof of everything that was committed.
+            if (prover != nullptr) {
+                res.verification = prover->check(job.design, current);
+            } else {
+                verify::PortfolioCec local(flow_cfg.verify_opts, pool);
+                res.verification = local.check(job.design, current);
+            }
+        }
     }
     res.seconds = watch.seconds();
     return res;
@@ -98,7 +114,7 @@ std::size_t FlowEngine::workers() const { return service_->workers(); }
 DesignFlowResult FlowEngine::run_one(const DesignJob& job,
                                      const BoolGebraModel& model) {
     return run_design_flow(job, model, cfg_.flow, cfg_.rounds,
-                           &service_->pool());
+                           &service_->pool(), service_->prover());
 }
 
 BatchFlowResult FlowEngine::run(std::span<const DesignJob> jobs,
@@ -148,6 +164,19 @@ BatchFlowResult FlowEngine::run(std::span<const DesignJob> jobs,
             best_value += d.flow.bg_best_value_ratio;
             final_depth += d.iterated.final_depth_ratio;
             out.total_samples += d.samples_run;
+            if (d.verification) {
+                switch (d.verification->verdict) {
+                    case aig::CecVerdict::Equivalent:
+                        ++out.jobs_verified;
+                        break;
+                    case aig::CecVerdict::NotEquivalent:
+                        ++out.jobs_refuted;
+                        break;
+                    case aig::CecVerdict::ProbablyEquivalent:
+                        ++out.jobs_unknown;
+                        break;
+                }
+            }
         }
         const auto n = static_cast<double>(out.designs.size());
         out.avg_bg_best_ratio = best / n;

@@ -61,6 +61,10 @@ struct DesignFlowResult {
     /// from the configured budget, so an early-breaking iterated flow
     /// reports only the work it really did.
     std::size_t samples_run = 0;
+    /// Portfolio-CEC verdict of the final graph against the input design
+    /// (the committed graph for rounds > 1, the best round-1 candidate
+    /// otherwise); set exactly when FlowConfig::verify was on.
+    std::optional<verify::VerifyReport> verification;
     double seconds = 0.0;
 };
 
@@ -81,6 +85,12 @@ struct BatchFlowResult {
     double avg_bg_best_value_ratio = 1.0;
     double avg_final_depth_ratio = 1.0;
     std::size_t total_samples = 0;
+    /// Verification tally (all zero when FlowConfig::verify is off):
+    /// verified = proven equivalent, refuted = counterexample found,
+    /// unknown = every engine degraded within its budget.
+    std::size_t jobs_verified = 0;
+    std::size_t jobs_refuted = 0;
+    std::size_t jobs_unknown = 0;
     double total_seconds = 0.0;
     double designs_per_second = 0.0;
     double samples_per_second = 0.0;
@@ -91,10 +101,16 @@ struct BatchFlowResult {
 /// with per-round StaticFeatures/CSR caching, on `pool` when given.  The
 /// model is read-only; results are bit-identical to the sequential
 /// run_flow / run_iterated_flow with the same config.
+/// `prover` is the shared portfolio instance used when flow.verify is on
+/// (null + verify => a transient prover is built from flow.verify_opts).
+/// For rounds > 1 the committed result is proven end-to-end once — final
+/// graph vs input design — instead of per round; a single round verifies
+/// inside run_flow.
 DesignFlowResult run_design_flow(const DesignJob& job,
                                  const BoolGebraModel& model,
                                  const FlowConfig& flow, std::size_t rounds,
-                                 ThreadPool* pool);
+                                 ThreadPool* pool,
+                                 verify::PortfolioCec* prover = nullptr);
 
 class FlowEngine {
 public:

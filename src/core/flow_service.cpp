@@ -14,6 +14,13 @@ FlowService::FlowService(ServiceConfig cfg, ModelSnapshot model)
     BG_EXPECTS(cfg_.rounds >= 1, "service needs at least one flow round");
     BG_EXPECTS(cfg_.latency_window >= 1, "latency window must be positive");
     latencies_.assign(cfg_.latency_window, 0.0);
+    if (cfg_.flow.verify) {
+        // One shared prover for the service lifetime: its verdict cache
+        // spans jobs, and it races engines on the same pool the serving
+        // tasks run on (for_each is nesting-safe).
+        prover_ = std::make_unique<verify::PortfolioCec>(
+            cfg_.flow.verify_opts, &pool_);
+    }
 }
 
 FlowService::~FlowService() { stop(); }
@@ -81,7 +88,7 @@ void FlowService::serve_next() {
     std::exception_ptr error;
     try {
         res = run_design_flow(queued.job, *queued.model, cfg_.flow,
-                              cfg_.rounds, &pool_);
+                              cfg_.rounds, &pool_, prover_.get());
     } catch (...) {
         error = std::current_exception();
     }
@@ -94,6 +101,21 @@ void FlowService::serve_next() {
         --running_;
         ++completed_;
         samples_ += error == nullptr ? res.samples_run : 0;
+        if (error == nullptr && res.verification) {
+            switch (res.verification->verdict) {
+                case aig::CecVerdict::Equivalent:
+                    ++verified_;
+                    break;
+                case aig::CecVerdict::NotEquivalent:
+                    ++refuted_;
+                    break;
+                case aig::CecVerdict::ProbablyEquivalent:
+                    ++unknown_;
+                    break;
+            }
+        } else {
+            ++unverified_;
+        }
         busy_seconds_ += busy;
         latencies_[latency_next_] = latency;
         latency_next_ = (latency_next_ + 1) % latencies_.size();
@@ -153,12 +175,20 @@ ServiceStats FlowService::stats() const {
         out.jobs_pending = queue_.size() + running_;
         out.samples_run = samples_;
         out.model_swaps = swaps_;
+        out.jobs_verified = verified_;
+        out.jobs_refuted = refuted_;
+        out.jobs_unknown = unknown_;
+        out.jobs_unverified = unverified_;
         out.busy_seconds = busy_seconds_;
         const std::size_t filled =
             latency_full_ ? latencies_.size() : latency_next_;
         window.assign(latencies_.begin(),
                       latencies_.begin() +
                           static_cast<std::ptrdiff_t>(filled));
+    }
+    if (prover_ != nullptr) {
+        out.verify_cache_lookups = prover_->cache_lookups();
+        out.verify_cache_hits = prover_->cache_hits();
     }
     out.uptime_seconds = uptime_.seconds();
     std::sort(window.begin(), window.end());

@@ -68,6 +68,17 @@ struct ServiceStats {
     std::uint64_t jobs_pending = 0;    ///< queued + currently executing
     std::uint64_t samples_run = 0;     ///< decision vectors scored (measured)
     std::uint64_t model_swaps = 0;
+    /// Verification tally (FlowConfig::verify gates the first three):
+    /// verified = proven equivalent, refuted = counterexample found,
+    /// unknown = every engine degraded, unverified = completed without a
+    /// verdict (verification off, or the job failed).
+    std::uint64_t jobs_verified = 0;
+    std::uint64_t jobs_refuted = 0;
+    std::uint64_t jobs_unknown = 0;
+    std::uint64_t jobs_unverified = 0;
+    /// Portfolio verdict-cache counters (zero when verification is off).
+    std::uint64_t verify_cache_lookups = 0;
+    std::uint64_t verify_cache_hits = 0;
     double uptime_seconds = 0.0;
     double busy_seconds = 0.0;  ///< summed per-job execution time
     /// Submit-to-completion latency percentiles over the sliding window.
@@ -89,6 +100,9 @@ public:
     const ServiceConfig& config() const { return cfg_; }
     std::size_t workers() const { return pool_.size(); }
     ThreadPool& pool() { return pool_; }
+    /// The long-lived portfolio prover every served job shares (its
+    /// verdict cache spans jobs); null when FlowConfig::verify is off.
+    verify::PortfolioCec* prover() { return prover_.get(); }
 
     /// Install `model` for jobs submitted from now on; in-flight and
     /// queued jobs keep the snapshot they were bound to.  A null snapshot
@@ -128,6 +142,9 @@ private:
 
     ServiceConfig cfg_;
     ThreadPool pool_;
+    /// Created in the constructor when cfg_.flow.verify is on; shared by
+    /// every serving task (PortfolioCec::check is thread-safe).
+    std::unique_ptr<verify::PortfolioCec> prover_;
     const bg::Stopwatch uptime_;
 
     mutable std::mutex mu_;
@@ -141,6 +158,10 @@ private:
     std::uint64_t completed_ = 0;
     std::uint64_t swaps_ = 0;
     std::uint64_t samples_ = 0;
+    std::uint64_t verified_ = 0;
+    std::uint64_t refuted_ = 0;
+    std::uint64_t unknown_ = 0;
+    std::uint64_t unverified_ = 0;
     double busy_seconds_ = 0.0;
     std::vector<double> latencies_;  ///< ring buffer, latency_window wide
     std::size_t latency_next_ = 0;

@@ -1,25 +1,25 @@
 #include "sat/cec_sat.hpp"
 
+#include <chrono>
+#include <utility>
+
 #include "aig/simulation.hpp"
 #include "util/contracts.hpp"
 
 namespace bg::sat {
 
-aig::CecVerdict check_equivalence_sat(const aig::Aig& a, const aig::Aig& b,
-                                      const SatCecOptions& opts) {
-    const auto miter = prove_equivalence(a, b, opts.conflict_budget);
-    switch (miter.result) {
-        case Result::Unsat:
-            return aig::CecVerdict::Equivalent;
-        case Result::Unknown:
-            return aig::CecVerdict::ProbablyEquivalent;
-        case Result::Sat:
-            break;
+aig::CecVerdict resolve_sat_counterexample(const aig::Aig& a,
+                                           const aig::Aig& b,
+                                           const std::vector<bool>& cex) {
+    // A malformed counterexample can only come from a solver bug; treat it
+    // like any other spurious model instead of propagating garbage.
+    if (cex.size() != a.num_pis() || a.num_pis() != b.num_pis() ||
+        a.num_pos() != b.num_pos()) {
+        return aig::CecVerdict::ProbablyEquivalent;
     }
-    // Validate the counterexample by simulating one pattern.
     aig::SimVectors pats(a.num_pis());
     for (std::size_t i = 0; i < a.num_pis(); ++i) {
-        pats[i].assign(1, miter.counterexample[i] ? 1ULL : 0ULL);
+        pats[i].assign(1, cex[i] ? 1ULL : 0ULL);
     }
     const auto pa = aig::po_signatures(a, aig::simulate(a, pats));
     const auto pb = aig::po_signatures(b, aig::simulate(b, pats));
@@ -28,8 +28,105 @@ aig::CecVerdict check_equivalence_sat(const aig::Aig& a, const aig::Aig& b,
             return aig::CecVerdict::NotEquivalent;
         }
     }
-    BG_ASSERT(false, "SAT counterexample failed simulation validation");
-    return aig::CecVerdict::NotEquivalent;
+    return aig::CecVerdict::ProbablyEquivalent;
+}
+
+SatCecResult check_equivalence_sat_full(const aig::Aig& a, const aig::Aig& b,
+                                        const SatCecOptions& opts) {
+    BG_EXPECTS(a.num_pis() == b.num_pis(),
+               "SAT CEC requires matching PI counts");
+    BG_EXPECTS(a.num_pos() == b.num_pos(),
+               "SAT CEC requires matching PO counts");
+
+    SatCecResult res;
+    res.stats.outputs_total = a.num_pos();
+
+    Solver solver;
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point deadline = Clock::time_point::max();
+    if (opts.timeout_seconds > 0.0) {
+        deadline = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(opts.timeout_seconds));
+    }
+    if (opts.cancel != nullptr || opts.timeout_seconds > 0.0) {
+        solver.set_interrupt([cancel = opts.cancel, deadline]() {
+            if (cancel != nullptr &&
+                cancel->load(std::memory_order_relaxed)) {
+                return true;
+            }
+            return Clock::now() >= deadline;
+        });
+    }
+
+    const MiterEncoding enc = encode_miter(solver, a, b);
+    if (enc.diff_lits.empty()) {
+        // Zero POs: no observable behaviour, trivially equivalent.
+        res.verdict = aig::CecVerdict::Equivalent;
+        return res;
+    }
+
+    // One solve per output on the same instance.  Learned clauses persist
+    // across iterations, and conflict_budget counts lifetime conflicts, so
+    // the budget is global across all outputs.
+    for (const Lit diff : enc.diff_lits) {
+        int retries = 0;
+        while (true) {
+            const Result r = solver.solve({diff}, opts.conflict_budget);
+            res.stats.conflicts = solver.num_conflicts();
+            if (r == Result::Unsat) {
+                ++res.stats.outputs_proven;
+                break;
+            }
+            if (r == Result::Unknown) {
+                // Budget exhausted, cancelled, or timed out.
+                res.verdict = aig::CecVerdict::ProbablyEquivalent;
+                return res;
+            }
+            ++res.stats.cex_found;
+            std::vector<bool> cex(a.num_pis());
+            for (std::size_t j = 0; j < a.num_pis(); ++j) {
+                cex[j] = solver.model_value(enc.map_a[a.pi(j)]);
+            }
+            // Validate against *all* output pairs — also the reuse step:
+            // a pattern found for this output refutes through any output
+            // it distinguishes, skipping their solves entirely.
+            if (resolve_sat_counterexample(a, b, cex) ==
+                aig::CecVerdict::NotEquivalent) {
+                res.verdict = aig::CecVerdict::NotEquivalent;
+                res.counterexample = std::move(cex);
+                return res;
+            }
+            // Spurious: the solver produced a model simulation refutes.
+            // Never throw from a verdict path — block the offending input
+            // pattern (sound: simulation just proved it non-differing),
+            // re-solve a bounded number of times, then degrade honestly.
+            ++res.stats.spurious_cex;
+            if (retries >= opts.max_spurious_retries) {
+                res.verdict = aig::CecVerdict::ProbablyEquivalent;
+                return res;
+            }
+            ++retries;
+            std::vector<Lit> block;
+            block.reserve(a.num_pis());
+            for (std::size_t j = 0; j < a.num_pis(); ++j) {
+                block.push_back(mk_lit(enc.map_a[a.pi(j)], cex[j]));
+            }
+            if (!solver.add_clause(std::move(block))) {
+                // Blocking collapsed the instance (e.g. zero PIs); the
+                // solver state is no longer trustworthy here.
+                res.verdict = aig::CecVerdict::ProbablyEquivalent;
+                return res;
+            }
+        }
+    }
+    res.verdict = aig::CecVerdict::Equivalent;
+    return res;
+}
+
+aig::CecVerdict check_equivalence_sat(const aig::Aig& a, const aig::Aig& b,
+                                      const SatCecOptions& opts) {
+    return check_equivalence_sat_full(a, b, opts).verdict;
 }
 
 }  // namespace bg::sat

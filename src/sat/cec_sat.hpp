@@ -2,9 +2,22 @@
 
 /// \file cec_sat.hpp
 /// SAT-backed combinational equivalence checking: a definitive verdict
-/// for designs whose PI count is beyond exhaustive simulation.  A SAT
-/// counterexample is re-validated by simulation before NotEquivalent is
-/// reported, so a solver bug can never produce a false rejection.
+/// for designs whose PI count is beyond exhaustive simulation.
+///
+/// The core is *incremental*: one solver instance holds the shared-input
+/// miter, and the per-output XOR selectors are discharged one by one
+/// under assumptions, so learned clauses from output i prune the search
+/// for output i+1 (what makes multi-output miters cheap).  Every SAT
+/// counterexample is re-validated by simulating it against *all* output
+/// pairs before NotEquivalent is reported — validation doubles as
+/// counterexample reuse (a pattern found for output i refutes via any
+/// output it distinguishes), and a solver bug can never produce a false
+/// rejection: a counterexample that fails simulation degrades the verdict
+/// to ProbablyEquivalent (after a bounded re-solve with that input
+/// pattern blocked), it never throws.
+
+#include <atomic>
+#include <vector>
 
 #include "aig/cec.hpp"
 #include "sat/cnf.hpp"
@@ -12,14 +25,59 @@
 namespace bg::sat {
 
 struct SatCecOptions {
-    /// Conflict budget before falling back to ProbablyEquivalent
-    /// (< 0 = unlimited).
+    /// Lifetime conflict budget for the whole check, shared by every
+    /// per-output solve on the incremental instance; falls back to
+    /// ProbablyEquivalent when exhausted (< 0 = unlimited).
     std::int64_t conflict_budget = 200000;
+    /// Bounded re-solves after a spurious (simulation-refuted)
+    /// counterexample: the offending input pattern — proven non-differing
+    /// by simulation — is blocked and the output re-solved at most this
+    /// many times before the verdict degrades to ProbablyEquivalent.
+    int max_spurious_retries = 1;
+    /// Cooperative cancellation, polled inside the solver; a set flag
+    /// degrades the verdict to ProbablyEquivalent.  Must outlive the call.
+    const std::atomic<bool>* cancel = nullptr;
+    /// Wall-clock budget in seconds (0 = unlimited).
+    double timeout_seconds = 0.0;
+};
+
+/// Work accounting of one SAT equivalence check.
+struct SatCecStats {
+    std::size_t outputs_total = 0;
+    std::size_t outputs_proven = 0;  ///< per-output Unsat results
+    std::size_t cex_found = 0;       ///< SAT models extracted
+    std::size_t spurious_cex = 0;    ///< models that failed simulation
+    std::uint64_t conflicts = 0;     ///< solver conflicts spent
+};
+
+/// Full outcome of a SAT equivalence check.
+struct SatCecResult {
+    aig::CecVerdict verdict = aig::CecVerdict::ProbablyEquivalent;
+    /// Simulation-validated PI assignment; set exactly when verdict ==
+    /// NotEquivalent.
+    std::vector<bool> counterexample;
+    SatCecStats stats;
 };
 
 /// Proven verdicts for equivalence/inequivalence; ProbablyEquivalent only
-/// when the conflict budget runs out.
+/// when the conflict budget runs out, the check is cancelled/timed out,
+/// or the solver misbehaves (spurious counterexamples).
 aig::CecVerdict check_equivalence_sat(const aig::Aig& a, const aig::Aig& b,
                                       const SatCecOptions& opts = {});
+
+/// As check_equivalence_sat, additionally reporting the validated
+/// counterexample and work stats.
+SatCecResult check_equivalence_sat_full(const aig::Aig& a, const aig::Aig& b,
+                                        const SatCecOptions& opts = {});
+
+/// The verdict path for one solver-reported counterexample, exposed for
+/// fault-injection tests: simulates `cex` (indexed by PI position) on
+/// both designs and returns NotEquivalent when any output pair differs,
+/// ProbablyEquivalent otherwise.  Never throws on a bogus counterexample
+/// — this is the contract a buggy solver result must not be able to
+/// break.
+aig::CecVerdict resolve_sat_counterexample(const aig::Aig& a,
+                                           const aig::Aig& b,
+                                           const std::vector<bool>& cex);
 
 }  // namespace bg::sat

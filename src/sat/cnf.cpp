@@ -30,36 +30,35 @@ Lit lit_for(const std::vector<Var>& mapping, aig::Lit l) {
     return mk_lit(v, aig::lit_is_compl(l));
 }
 
-MiterResult prove_equivalence(const aig::Aig& a, const aig::Aig& b,
-                              std::int64_t conflict_budget) {
+MiterEncoding encode_miter(Solver& solver, const aig::Aig& a,
+                           const aig::Aig& b) {
     BG_EXPECTS(a.num_pis() == b.num_pis(),
                "miter requires matching PI counts");
     BG_EXPECTS(a.num_pos() == b.num_pos(),
                "miter requires matching PO counts");
-    Solver solver;
-    const auto map_a = encode_aig(solver, a);
+    MiterEncoding enc;
+    enc.map_a = encode_aig(solver, a);
 
     // Encode b over the SAME input variables.
-    std::vector<Var> map_b(b.num_slots(), -1);
-    map_b[0] = map_a[0];
+    enc.map_b.assign(b.num_slots(), -1);
+    enc.map_b[0] = enc.map_a[0];
     for (std::size_t i = 0; i < b.num_pis(); ++i) {
-        map_b[b.pi(i)] = map_a[a.pi(i)];
+        enc.map_b[b.pi(i)] = enc.map_a[a.pi(i)];
     }
     for (const aig::Var v : b.topo_ands()) {
-        map_b[v] = solver.new_var();
-        const Lit x = mk_lit(map_b[v]);
-        const Lit fa = lit_for(map_b, b.fanin0(v));
-        const Lit fb = lit_for(map_b, b.fanin1(v));
+        enc.map_b[v] = solver.new_var();
+        const Lit x = mk_lit(enc.map_b[v]);
+        const Lit fa = lit_for(enc.map_b, b.fanin0(v));
+        const Lit fb = lit_for(enc.map_b, b.fanin1(v));
         solver.add_clause({lit_neg(x), fa});
         solver.add_clause({lit_neg(x), fb});
         solver.add_clause({x, lit_neg(fa), lit_neg(fb)});
     }
 
-    // XOR miter per PO pair; OR of all xors asserted true.
-    std::vector<Lit> any_diff;
+    // XOR selector per PO pair (nothing asserted about the selectors).
     for (std::size_t i = 0; i < a.num_pos(); ++i) {
-        const Lit pa = lit_for(map_a, a.po(i));
-        const Lit pb = lit_for(map_b, b.po(i));
+        const Lit pa = lit_for(enc.map_a, a.po(i));
+        const Lit pb = lit_for(enc.map_b, b.po(i));
         const Var x = solver.new_var();
         const Lit xl = mk_lit(x);
         // x <-> (pa XOR pb)
@@ -67,9 +66,19 @@ MiterResult prove_equivalence(const aig::Aig& a, const aig::Aig& b,
         solver.add_clause({lit_neg(xl), lit_neg(pa), lit_neg(pb)});
         solver.add_clause({xl, lit_neg(pa), pb});
         solver.add_clause({xl, pa, lit_neg(pb)});
-        any_diff.push_back(xl);
+        enc.diff_lits.push_back(xl);
     }
-    if (!solver.add_clause(any_diff)) {
+    return enc;
+}
+
+MiterResult prove_equivalence(const aig::Aig& a, const aig::Aig& b,
+                              std::int64_t conflict_budget) {
+    Solver solver;
+    const auto enc = encode_miter(solver, a, b);
+    const auto& map_a = enc.map_a;
+
+    // OR of all xors asserted true: "some output pair differs".
+    if (!solver.add_clause(enc.diff_lits)) {
         // Immediately unsatisfiable (e.g. zero POs): proven equivalent.
         return MiterResult{Result::Unsat, {}};
     }

@@ -27,6 +27,24 @@ struct MiterResult {
     std::vector<bool> counterexample;
 };
 
+/// A miter of two AIGs encoded into one solver: both networks share the
+/// PI variables, and each PO pair i carries a selector literal with
+/// diff_lits[i] <-> (po_a[i] XOR po_b[i]).  Nothing is asserted about the
+/// selectors themselves, so the caller chooses the proof style:
+///  * assert OR(diff_lits) and solve once (prove_equivalence), or
+///  * solve per output under assumption diff_lits[i] on the same solver
+///    instance, keeping learned clauses across outputs (the incremental
+///    SAT CEC in sat/cec_sat.cpp).
+struct MiterEncoding {
+    std::vector<Var> map_a;      ///< AIG var -> SAT var for `a`
+    std::vector<Var> map_b;      ///< AIG var -> SAT var for `b`
+    std::vector<Lit> diff_lits;  ///< one per PO pair
+};
+
+/// Encode the shared-input miter of two interface-identical AIGs.
+MiterEncoding encode_miter(Solver& solver, const aig::Aig& a,
+                           const aig::Aig& b);
+
 /// Prove or refute PO-wise equivalence of two AIGs with identical
 /// interfaces: builds XOR miters over shared inputs and asks the solver
 /// whether any output pair can differ.  Unsat == proven equivalent.

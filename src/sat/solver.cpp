@@ -246,6 +246,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
         unsat_ = true;
         return Result::Unsat;
     }
+    if (interrupt_ && interrupt_()) {
+        return Result::Unknown;
+    }
 
     std::uint64_t restart_limit = 128;
     std::uint64_t conflicts_since_restart = 0;
@@ -261,6 +264,10 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
             }
             if (conflict_budget >= 0 &&
                 conflicts_ > static_cast<std::uint64_t>(conflict_budget)) {
+                backtrack(0);
+                return Result::Unknown;
+            }
+            if ((conflicts_ & 255) == 0 && interrupt_ && interrupt_()) {
                 backtrack(0);
                 return Result::Unknown;
             }

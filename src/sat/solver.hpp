@@ -8,6 +8,7 @@
 /// this library's circuit sizes are comfortably in range.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace bg::sat {
@@ -41,9 +42,19 @@ public:
     bool add_clause(std::vector<Lit> lits);
 
     /// Solve under optional assumptions.  `conflict_budget` < 0 means
-    /// unlimited.
+    /// unlimited; the budget counts *lifetime* conflicts, so incremental
+    /// callers share one budget across a sequence of solve() calls.
     Result solve(const std::vector<Lit>& assumptions = {},
                  std::int64_t conflict_budget = -1);
+
+    /// Cooperative interruption: `cb` is polled every few hundred
+    /// conflicts (and at restarts); returning true makes the current and
+    /// any later solve() return Result::Unknown.  Pass nullptr to clear.
+    /// The portfolio prover uses this for early-cancel and wall-clock
+    /// timeouts.
+    void set_interrupt(std::function<bool()> cb) {
+        interrupt_ = std::move(cb);
+    }
 
     /// Model access after Result::Sat.
     bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == 1; }
@@ -93,6 +104,7 @@ private:
     double var_inc_ = 1.0;
     std::vector<std::int8_t> model_;
     bool unsat_ = false;
+    std::function<bool()> interrupt_;
 
     std::uint64_t conflicts_ = 0;
     std::uint64_t decisions_ = 0;

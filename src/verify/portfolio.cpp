@@ -1,0 +1,205 @@
+#include "verify/portfolio.hpp"
+
+#include <array>
+#include <chrono>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace bg::verify {
+
+namespace {
+
+bool is_definitive(aig::CecVerdict v) {
+    return v == aig::CecVerdict::Equivalent ||
+           v == aig::CecVerdict::NotEquivalent;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string to_string(Engine e) {
+    switch (e) {
+        case Engine::None:
+            return "none";
+        case Engine::Simulation:
+            return "sim";
+        case Engine::Bdd:
+            return "bdd";
+        case Engine::Sat:
+            return "sat";
+        case Engine::Cache:
+            return "cache";
+    }
+    return "?";
+}
+
+std::size_t PortfolioCec::CacheKeyHash::operator()(const CacheKey& k) const {
+    return static_cast<std::size_t>(mix64(k.fp_a ^ mix64(k.fp_b)));
+}
+
+PortfolioCec::PortfolioCec(PortfolioOptions opts, ThreadPool* pool)
+    : opts_(std::move(opts)), pool_(pool) {}
+
+bool PortfolioCec::cache_get(const CacheKey& key, VerifyReport& out) {
+    cache_lookups_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        // Equivalence is symmetric, and a counterexample is just a PI
+        // assignment, so a hit on the swapped pair is equally valid.
+        it = cache_.find(CacheKey{key.fp_b, key.fp_a});
+    }
+    if (it == cache_.end()) {
+        return false;
+    }
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    out.verdict = it->second.verdict;
+    out.engine = Engine::Cache;
+    out.from_cache = true;
+    out.counterexample = it->second.counterexample;
+    return true;
+}
+
+void PortfolioCec::cache_put(const CacheKey& key,
+                             const VerifyReport& report) {
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_.count(key) != 0) {
+        return;
+    }
+    while (cache_.size() >= opts_.cache_capacity && !cache_order_.empty()) {
+        cache_.erase(cache_order_.front());
+        cache_order_.pop_front();
+    }
+    cache_.emplace(key, CacheEntry{report.verdict, report.engine,
+                                   report.counterexample});
+    cache_order_.push_back(key);
+}
+
+std::size_t PortfolioCec::cache_size() const {
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_.size();
+}
+
+VerifyReport PortfolioCec::check(const aig::Aig& a, const aig::Aig& b) {
+    BG_EXPECTS(a.num_pis() == b.num_pis(),
+               "portfolio CEC requires matching PI counts");
+    BG_EXPECTS(a.num_pos() == b.num_pos(),
+               "portfolio CEC requires matching PO counts");
+
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const auto elapsed = [t0] {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    VerifyReport report;
+    CacheKey key{};
+    const bool use_cache = opts_.use_cache && opts_.cache_capacity > 0;
+    if (use_cache) {
+        key = CacheKey{aig::structural_fingerprint(a),
+                       aig::structural_fingerprint(b)};
+        if (cache_get(key, report)) {
+            report.seconds = elapsed();
+            return report;
+        }
+    }
+
+    // The race: one shared cancel flag, first definitive verdict wins via
+    // CAS and cancels the others.  Engine outcomes land in per-engine
+    // slots; for_each joins every iteration before we read them.
+    std::atomic<bool> cancel{false};
+    std::atomic<int> winner{-1};
+    struct Outcome {
+        aig::CecVerdict verdict = aig::CecVerdict::ProbablyEquivalent;
+        std::vector<bool> counterexample;
+    };
+    std::array<Outcome, 3> outcomes;
+    constexpr std::array<Engine, 3> kEngines = {
+        Engine::Simulation, Engine::Bdd, Engine::Sat};
+
+    const auto engine_timeout = [this](double own) {
+        return own > 0.0 ? own : opts_.engine_timeout_seconds;
+    };
+
+    const auto run_engine = [&](std::size_t idx) {
+        if (cancel.load(std::memory_order_relaxed)) {
+            return;  // raced after a definitive verdict: nothing to do
+        }
+        Outcome& out = outcomes[idx];
+        switch (kEngines[idx]) {
+            case Engine::Simulation: {
+                aig::CecOptions o = opts_.sim;
+                o.cancel = &cancel;
+                o.timeout_seconds = engine_timeout(o.timeout_seconds);
+                auto r = aig::check_equivalence_full(a, b, o);
+                out.verdict = r.verdict;
+                out.counterexample = std::move(r.counterexample);
+                break;
+            }
+            case Engine::Bdd: {
+                bdd::BddCecOptions o = opts_.bdd;
+                o.cancel = &cancel;
+                o.timeout_seconds = engine_timeout(o.timeout_seconds);
+                auto r = bdd::check_equivalence_bdd_full(a, b, o);
+                out.verdict = r.verdict;
+                out.counterexample = std::move(r.counterexample);
+                break;
+            }
+            case Engine::Sat: {
+                sat::SatCecOptions o = opts_.sat;
+                o.cancel = &cancel;
+                o.timeout_seconds = engine_timeout(o.timeout_seconds);
+                auto r = sat::check_equivalence_sat_full(a, b, o);
+                out.verdict = r.verdict;
+                out.counterexample = std::move(r.counterexample);
+                break;
+            }
+            default:
+                break;
+        }
+        if (is_definitive(out.verdict)) {
+            int expected = -1;
+            if (winner.compare_exchange_strong(
+                    expected, static_cast<int>(idx),
+                    std::memory_order_acq_rel)) {
+                cancel.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    if (pool_ != nullptr) {
+        // Nesting-safe: the caller participates, so this works even from
+        // inside a job on the same pool (serving threads verify in-line).
+        pool_->for_each(kEngines.size(), run_engine);
+    } else {
+        for (std::size_t i = 0; i < kEngines.size(); ++i) {
+            run_engine(i);  // sequential; cancel short-circuits the rest
+        }
+    }
+
+    const int w = winner.load(std::memory_order_acquire);
+    if (w >= 0) {
+        report.verdict = outcomes[static_cast<std::size_t>(w)].verdict;
+        report.engine = kEngines[static_cast<std::size_t>(w)];
+        report.counterexample = std::move(
+            outcomes[static_cast<std::size_t>(w)].counterexample);
+        if (use_cache) {
+            cache_put(key, report);
+        }
+    } else {
+        // Every engine degraded within its budget: honest "probably".
+        report.verdict = aig::CecVerdict::ProbablyEquivalent;
+        report.engine = Engine::None;
+    }
+    report.seconds = elapsed();
+    return report;
+}
+
+}  // namespace bg::verify

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file portfolio.hpp
+/// Portfolio combinational equivalence checking: race the three CEC back
+/// ends — random simulation (aig/cec.hpp), BDD (bdd/cec_bdd.hpp) and SAT
+/// (sat/cec_sat.hpp) — and take the first *definitive* verdict.
+///
+/// The engines have complementary strengths: simulation refutes buggy
+/// rewrites in microseconds but can only ever prove "probably equivalent"
+/// past the exhaustive bound; BDDs prove small-to-medium control logic
+/// instantly but blow up on multipliers; SAT handles what BDDs cannot but
+/// pays per-output solving cost.  Racing all three under one cancel flag
+/// gets the best of each: the first Equivalent / NotEquivalent wins and
+/// cancels the rest; if every engine degrades within its budget the
+/// portfolio reports ProbablyEquivalent honestly (never upgraded).
+///
+/// Verdicts for structurally identical queries are served from a small
+/// FIFO cache keyed on the pair of structural fingerprints
+/// (aig::structural_fingerprint), so a served flow re-verifying the same
+/// design pair pays nothing.  Only definitive verdicts are cached —
+/// ProbablyEquivalent depends on budgets and luck, so it is always
+/// recomputed.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/cec.hpp"
+#include "bdd/cec_bdd.hpp"
+#include "sat/cec_sat.hpp"
+#include "util/parallel.hpp"
+
+namespace bg::verify {
+
+/// Which engine produced a verdict.
+enum class Engine {
+    None,        ///< cache miss degraded / zero-engine edge cases
+    Simulation,  ///< word-parallel random or exhaustive simulation
+    Bdd,         ///< canonical ROBDD comparison
+    Sat,         ///< incremental SAT on the shared miter
+    Cache,       ///< served from the result cache
+};
+
+std::string to_string(Engine e);
+
+struct PortfolioOptions {
+    /// Per-engine budgets.  Each engine's own cancel pointer and
+    /// timeout_seconds are overwritten by the portfolio (it owns the race
+    /// flag); a zero per-engine timeout inherits engine_timeout_seconds.
+    aig::CecOptions sim;
+    bdd::BddCecOptions bdd;
+    sat::SatCecOptions sat;
+    /// Default wall-clock budget per engine, in seconds (0 = unlimited).
+    double engine_timeout_seconds = 30.0;
+    /// Serve repeated structural-fingerprint pairs from the cache.
+    bool use_cache = true;
+    /// FIFO capacity of the verdict cache.
+    std::size_t cache_capacity = 4096;
+};
+
+/// Outcome of one portfolio check.
+struct VerifyReport {
+    aig::CecVerdict verdict = aig::CecVerdict::ProbablyEquivalent;
+    /// Engine that produced the verdict (Cache when served from cache).
+    Engine engine = Engine::None;
+    /// Wall-clock seconds spent inside check().
+    double seconds = 0.0;
+    bool from_cache = false;
+    /// Differing PI assignment; non-empty exactly when the verdict is
+    /// NotEquivalent and the winning engine produced a witness (cached
+    /// refutations keep the witness from the original run).
+    std::vector<bool> counterexample;
+};
+
+/// Thread-safe portfolio prover.  One instance is meant to live as long
+/// as the serving process (FlowService owns one); concurrent check()
+/// calls are safe and share the verdict cache.
+class PortfolioCec {
+public:
+    /// `pool` is the shared worker pool used to race the engines; pass
+    /// nullptr to run them sequentially (sim, then BDD, then SAT — still
+    /// short-circuiting on the first definitive verdict).  The pool's
+    /// for_each is nesting-safe, so check() may be called from inside a
+    /// job running on the same pool.
+    explicit PortfolioCec(PortfolioOptions opts = {},
+                          ThreadPool* pool = nullptr);
+
+    /// Race the engines on the (a, b) miter.  Throws ContractViolation
+    /// when the PI/PO interfaces differ; never throws from a verdict
+    /// path.
+    VerifyReport check(const aig::Aig& a, const aig::Aig& b);
+
+    std::size_t cache_lookups() const {
+        return cache_lookups_.load(std::memory_order_relaxed);
+    }
+    std::size_t cache_hits() const {
+        return cache_hits_.load(std::memory_order_relaxed);
+    }
+    std::size_t cache_size() const;
+
+private:
+    struct CacheKey {
+        std::uint64_t fp_a = 0;
+        std::uint64_t fp_b = 0;
+        bool operator==(const CacheKey& o) const {
+            return fp_a == o.fp_a && fp_b == o.fp_b;
+        }
+    };
+    struct CacheKeyHash {
+        std::size_t operator()(const CacheKey& k) const;
+    };
+    struct CacheEntry {
+        aig::CecVerdict verdict = aig::CecVerdict::ProbablyEquivalent;
+        Engine engine = Engine::None;
+        std::vector<bool> counterexample;
+    };
+
+    bool cache_get(const CacheKey& key, VerifyReport& out);
+    void cache_put(const CacheKey& key, const VerifyReport& report);
+
+    PortfolioOptions opts_;
+    ThreadPool* pool_ = nullptr;
+
+    mutable std::mutex cache_mu_;
+    std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+    std::deque<CacheKey> cache_order_;  // FIFO eviction
+    std::atomic<std::size_t> cache_lookups_{0};
+    std::atomic<std::size_t> cache_hits_{0};
+};
+
+}  // namespace bg::verify
