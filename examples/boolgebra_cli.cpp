@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "aig/cec.hpp"
+#include "circuits/design_source.hpp"
 #include "circuits/registry.hpp"
 #include "core/dataset.hpp"
 #include "core/flow_engine.hpp"
@@ -92,24 +93,14 @@ int usage() {
         "  map      <design> [-k K]\n"
         "  convert  <in> <out>\n"
         "  list\n"
-        "designs: registry names (b07..c5315, name@scale) or "
-        ".aag/.aig/.bench files");
+        "designs: registry names (b07..c5315, name@scale), registry globs\n"
+        "         (b1?), file:<path> / file:<glob> AIGER or BENCH specs,\n"
+        "         or bare .aag/.aig/.bench paths");
     return 2;
 }
 
 Aig load_design(const std::string& spec) {
-    if (spec.ends_with(".bench")) {
-        return bg::io::read_bench_file(spec);
-    }
-    if (spec.ends_with(".aag") || spec.ends_with(".aig")) {
-        return bg::io::read_aiger_auto_file(spec);
-    }
-    const auto at = spec.find('@');
-    if (at != std::string::npos) {
-        return bg::circuits::make_benchmark_scaled(
-            spec.substr(0, at), std::stod(spec.substr(at + 1)));
-    }
-    return bg::circuits::make_benchmark(spec);
+    return bg::circuits::load_design_spec(spec);
 }
 
 void save_design(const Aig& g, const std::string& path) {
@@ -358,37 +349,20 @@ FlowArgs parse_flow_args(std::vector<std::string>& args) {
     return out;
 }
 
-/// Collect jobs: --all, registry globs, registry names (name[@scale]) and
-/// netlist files all mix freely.  A glob-looking spec ('*'/'?') that
-/// matches no registry design is an error — returns nullopt after
-/// printing it, so the command exits non-zero instead of "running" over
-/// zero designs.
+/// Collect jobs: --all, registry globs, registry names (name[@scale]),
+/// file:<path|glob> specs and bare netlist paths all mix freely — one
+/// resolution language for the whole CLI (circuits::resolve_design_specs).
+/// A spec that resolves to nothing — unknown name, empty glob, missing or
+/// malformed file — is an error: returns nullopt after printing it, so
+/// the command exits 2 instead of "running" over zero designs.
 std::optional<std::vector<bg::core::DesignJob>> collect_jobs(
     const std::vector<std::string>& specs, bool all, double scale) {
-    std::vector<bg::core::DesignJob> jobs;
-    const auto add_registry = [&](std::span<const std::string> names) {
-        for (auto& job : bg::core::jobs_from_registry(names, scale)) {
-            jobs.push_back(std::move(job));
-        }
-    };
-    if (all) {
-        add_registry(bg::circuits::benchmark_names());
+    try {
+        return bg::core::jobs_from_specs(specs, all, scale);
+    } catch (const bg::circuits::DesignSourceError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return std::nullopt;
     }
-    for (const auto& spec : specs) {
-        const auto expanded = bg::core::expand_registry_pattern(spec);
-        if (!expanded.empty()) {
-            add_registry(expanded);
-        } else if (spec.find_first_of("*?") != std::string::npos) {
-            std::fprintf(stderr,
-                         "error: pattern '%s' matches no registry design "
-                         "(run 'boolgebra_cli list' for the names)\n",
-                         spec.c_str());
-            return std::nullopt;
-        } else {
-            jobs.push_back({spec, load_design(spec)});
-        }
-    }
-    return jobs;
 }
 
 /// Build the quick-architecture model, optionally loading weights.  The
@@ -796,6 +770,11 @@ int main(int argc, char** argv) {
             save_design(load_design(args[0]), args[1]);
             return 0;
         }
+    } catch (const bg::circuits::DesignSourceError& e) {
+        // Bad design spec (unknown name, empty glob, unreadable or
+        // malformed file): a usage-class failure, exit 2.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

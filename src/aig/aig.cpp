@@ -5,21 +5,205 @@
 
 namespace bg::aig {
 
+// ---------------------------------------------------------------------------
+// FanoutArena
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void FanoutArena::push_back(Var v, Var f) {
+    Head& h = heads_[v];
+    if (h.size == h.cap) {
+        // Repack first when the arena is mostly leaked blocks, so
+        // replace()-heavy workloads cannot grow it without bound.
+        if (arena_.size() >= 4096 && arena_.size() > 4 * (live_ + 1)) {
+            repack();
+        }
+        Head& hh = heads_[v];  // repack() may have moved the block
+        const std::uint32_t new_cap = std::max<std::uint32_t>(2, hh.cap * 2);
+        const std::uint32_t new_off = static_cast<std::uint32_t>(
+            arena_.size());
+        arena_.resize(arena_.size() + new_cap);
+        std::copy_n(arena_.begin() + hh.off, hh.size,
+                    arena_.begin() + new_off);
+        hh.off = new_off;
+        hh.cap = new_cap;
+        arena_[hh.off + hh.size++] = f;
+        ++live_;
+        return;
+    }
+    arena_[h.off + h.size++] = f;
+    ++live_;
+}
+
+void FanoutArena::remove(Var v, Var f) {
+    Head& h = heads_[v];
+    Var* const begin = arena_.data() + h.off;
+    Var* const end = begin + h.size;
+    Var* const it = std::find(begin, end, f);
+    BG_ASSERT(it != end, "fanout record missing during removal");
+    *it = end[-1];  // swap-with-back, as the vector layout did
+    --h.size;
+    --live_;
+}
+
+void FanoutArena::repack() {
+    std::vector<Var> packed;
+    packed.reserve(live_ + live_ / 2 + heads_.size());
+    for (Head& h : heads_) {
+        const std::uint32_t off = static_cast<std::uint32_t>(packed.size());
+        packed.insert(packed.end(), arena_.begin() + h.off,
+                      arena_.begin() + h.off + h.size);
+        // A little headroom per list so the next push does not immediately
+        // move the block back to the tail.
+        const std::uint32_t cap =
+            std::max<std::uint32_t>(2, h.size + h.size / 2);
+        packed.resize(packed.size() + (cap - h.size));
+        h.off = off;
+        h.cap = cap;
+    }
+    arena_ = std::move(packed);
+}
+
+// ---------------------------------------------------------------------------
+// StrashMap
+// ---------------------------------------------------------------------------
+
+Var StrashMap::find(std::uint64_t key) const {
+    if (keys_.empty()) {
+        return null_var;
+    }
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+        const std::uint64_t k = keys_[i];
+        if (k == key) {
+            return vals_[i];
+        }
+        if (k == k_empty) {
+            return null_var;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+void StrashMap::insert(std::uint64_t key, Var v) {
+    if ((used_ + 1) * 2 > keys_.size()) {
+        rehash(std::max<std::size_t>(16, (size_ + 1) * 4));
+    }
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    std::size_t slot = ~std::size_t{0};
+    while (true) {
+        const std::uint64_t k = keys_[i];
+        BG_ASSERT(k != key, "strash insert over an existing key");
+        if (k == k_tombstone && slot == ~std::size_t{0}) {
+            slot = i;  // reuse the first tombstone on the probe path
+        }
+        if (k == k_empty) {
+            if (slot == ~std::size_t{0}) {
+                slot = i;
+                ++used_;  // consuming a fresh slot, not a tombstone
+            }
+            break;
+        }
+        i = (i + 1) & mask;
+    }
+    keys_[slot] = key;
+    vals_[slot] = v;
+    ++size_;
+}
+
+void StrashMap::erase(std::uint64_t key) {
+    BG_ASSERT(!keys_.empty(), "strash erase on an empty table");
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+        const std::uint64_t k = keys_[i];
+        if (k == key) {
+            keys_[i] = k_tombstone;
+            --size_;
+            return;
+        }
+        BG_ASSERT(k != k_empty, "strash erase of a missing key");
+        i = (i + 1) & mask;
+    }
+}
+
+void StrashMap::reserve(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap < n * 2) {
+        cap *= 2;
+    }
+    if (cap > keys_.size()) {
+        rehash(cap);
+    }
+}
+
+void StrashMap::rehash(std::size_t new_cap) {
+    std::size_t cap = 16;
+    while (cap < new_cap) {
+        cap *= 2;
+    }
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<Var> old_vals = std::move(vals_);
+    keys_.assign(cap, k_empty);
+    vals_.assign(cap, null_var);
+    const std::size_t mask = cap - 1;
+    for (std::size_t j = 0; j < old_keys.size(); ++j) {
+        const std::uint64_t k = old_keys[j];
+        if (k == k_empty || k == k_tombstone) {
+            continue;
+        }
+        std::size_t i = mix(k) & mask;
+        while (keys_[i] != k_empty) {
+            i = (i + 1) & mask;
+        }
+        keys_[i] = k;
+        vals_[i] = old_vals[j];
+    }
+    used_ = size_;  // tombstones dropped
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Aig
+// ---------------------------------------------------------------------------
+
 Aig::Aig() {
     // Slot 0 is the constant-FALSE node.
     nodes_.emplace_back();
-    fanouts_.emplace_back();
+    fanouts_.add_node();
+    po_ref_counts_.push_back(0);
+}
+
+Aig::MemoryStats Aig::memory_stats() const {
+    MemoryStats m;
+    m.node_array_bytes = nodes_.capacity() * sizeof(Node);
+    m.fanout_bytes = fanouts_.bytes();
+    m.strash_bytes = strash_.bytes();
+    m.po_count_bytes = po_ref_counts_.capacity() * sizeof(std::uint32_t);
+    return m;
+}
+
+void Aig::reserve(std::size_t nodes) {
+    nodes_.reserve(nodes);
+    po_ref_counts_.reserve(nodes);
+    fanouts_.reserve(nodes, 2 * nodes);
+    strash_.reserve(nodes);
 }
 
 Var Aig::new_node() {
     nodes_.emplace_back();
-    fanouts_.emplace_back();
+    fanouts_.add_node();
+    po_ref_counts_.push_back(0);
     return static_cast<Var>(nodes_.size() - 1);
 }
 
 Lit Aig::add_pi() {
     const Var v = new_node();
-    nodes_[v].is_pi = true;
+    nodes_[v].set_pi(true);
     pis_.push_back(v);
     return make_lit(v);
 }
@@ -37,6 +221,7 @@ std::size_t Aig::add_po(Lit l) {
     BG_EXPECTS(lit_var(l) < nodes_.size(), "PO literal out of range");
     BG_EXPECTS(!is_dead(lit_var(l)), "PO driven by a dead node");
     ref_var(lit_var(l));
+    ++po_ref_counts_[lit_var(l)];
     pos_.push_back(l);
     return pos_.size() - 1;
 }
@@ -63,11 +248,11 @@ Lit Aig::lookup_and(Lit a, Lit b) const {
     if (a > b) {
         std::swap(a, b);
     }
-    const auto it = strash_.find(strash_key(a, b));
-    if (it == strash_.end()) {
+    const Var hit = strash_.find(strash_key(a, b));
+    if (hit == null_var) {
         return null_lit;
     }
-    return make_lit(it->second);
+    return make_lit(hit);
 }
 
 Lit Aig::and_(Lit a, Lit b) {
@@ -81,13 +266,13 @@ Lit Aig::and_(Lit a, Lit b) {
         std::swap(a, b);
     }
     const Var v = new_node();
-    nodes_[v].fanin0 = a;
-    nodes_[v].fanin1 = b;
+    nodes_[v].fanin0 = NodeRef::from_lit(a);
+    nodes_[v].fanin1 = NodeRef::from_lit(b);
     ref_var(lit_var(a));
     ref_var(lit_var(b));
     fanout_add(lit_var(a), v);
     fanout_add(lit_var(b), v);
-    strash_.emplace(strash_key(a, b), v);
+    strash_.insert(strash_key(a, b), v);
     ++num_ands_;
     return make_lit(v);
 }
@@ -137,34 +322,14 @@ Lit Aig::or_reduce(std::span<const Lit> lits) {
     return lit_not(and_reduce(inv));
 }
 
-std::size_t Aig::po_refs(Var v) const {
-    std::size_t n = 0;
-    for (const Lit po : pos_) {
-        n += lit_var(po) == v ? 1 : 0;
-    }
-    return n;
-}
-
-void Aig::fanout_add(Var fanin, Var fanout) {
-    fanouts_[fanin].push_back(fanout);
-}
-
-void Aig::fanout_remove(Var fanin, Var fanout) {
-    auto& list = fanouts_[fanin];
-    const auto it = std::find(list.begin(), list.end(), fanout);
-    BG_ASSERT(it != list.end(), "fanout record missing during removal");
-    *it = list.back();
-    list.pop_back();
-}
-
 void Aig::update_levels() {
     for (const Var v : topo_all()) {
         auto& n = nodes_[v];
         if (n.is_and()) {
-            n.level = 1 + std::max(nodes_[lit_var(n.fanin0)].level,
-                                   nodes_[lit_var(n.fanin1)].level);
+            n.set_level(1 + std::max(nodes_[n.fanin0.index()].level(),
+                                     nodes_[n.fanin1.index()].level()));
         } else {
-            n.level = 0;
+            n.set_level(0);
         }
     }
 }
@@ -173,7 +338,7 @@ std::uint32_t Aig::depth() {
     update_levels();
     std::uint32_t d = 0;
     for (const Lit po : pos_) {
-        d = std::max(d, nodes_[lit_var(po)].level);
+        d = std::max(d, nodes_[lit_var(po)].level());
     }
     return d;
 }
@@ -183,8 +348,8 @@ std::uint32_t Aig::depth() const {
     for (const Var v : topo_all()) {
         const auto& n = nodes_[v];
         if (n.is_and()) {
-            levels[v] = 1 + std::max(levels[lit_var(n.fanin0)],
-                                     levels[lit_var(n.fanin1)]);
+            levels[v] = 1 + std::max(levels[n.fanin0.index()],
+                                     levels[n.fanin1.index()]);
         }
     }
     std::uint32_t d = 0;
@@ -201,7 +366,7 @@ std::vector<Var> Aig::topo_all() const {
     std::vector<std::uint32_t> pending(nodes_.size(), 0);
     std::vector<Var> ready;
     for (Var v = 0; v < nodes_.size(); ++v) {
-        if (nodes_[v].dead) {
+        if (nodes_[v].dead()) {
             continue;
         }
         if (nodes_[v].is_and()) {
@@ -214,8 +379,8 @@ std::vector<Var> Aig::topo_all() const {
         const Var v = ready.back();
         ready.pop_back();
         order.push_back(v);
-        for (const Var f : fanouts_[v]) {
-            if (nodes_[f].dead) {
+        for (const Var f : fanouts_.list(v)) {
+            if (nodes_[f].dead()) {
                 continue;
             }
             // A node may appear twice in a fanout list only if both fanins
@@ -254,8 +419,8 @@ bool Aig::is_in_tfi(Var root, Var descendant) const {
         if (!nodes_[v].is_and()) {
             continue;
         }
-        for (const Lit f : {nodes_[v].fanin0, nodes_[v].fanin1}) {
-            const Var u = lit_var(f);
+        for (const NodeRef f : fanin_refs(v)) {
+            const Var u = f.index();
             if (u == descendant) {
                 return true;
             }
@@ -270,30 +435,30 @@ bool Aig::is_in_tfi(Var root, Var descendant) const {
 
 void Aig::delete_unreferenced(Var v) {
     auto& n = nodes_[v];
-    if (n.dead || !n.is_and() || n.ref > 0) {
+    if (n.dead() || !n.is_and() || n.ref > 0) {
         return;
     }
-    n.dead = true;
+    n.set_dead(true);
     --num_ands_;
-    strash_.erase(strash_key(n.fanin0, n.fanin1));
-    for (const Lit f : {n.fanin0, n.fanin1}) {
-        const Var u = lit_var(f);
+    strash_.erase(strash_key(n.fanin0.lit(), n.fanin1.lit()));
+    for (const NodeRef f : {n.fanin0, n.fanin1}) {
+        const Var u = f.index();
         fanout_remove(u, v);
         deref_var(u);
         delete_unreferenced(u);
     }
-    fanouts_[v].clear();
+    fanouts_.clear(v);
 }
 
 void Aig::patch_fanout(Var fanout, Var v, Lit repl) {
     auto& fn = nodes_[fanout];
-    BG_ASSERT(!fn.dead, "patching a dead fanout");
-    const bool on0 = lit_var(fn.fanin0) == v;
-    const bool on1 = lit_var(fn.fanin1) == v;
+    BG_ASSERT(!fn.dead(), "patching a dead fanout");
+    const bool on0 = fn.fanin0.index() == v;
+    const bool on1 = fn.fanin1.index() == v;
     BG_ASSERT(on0 != on1, "fanout must reference v on exactly one fanin");
 
-    const Lit other = on0 ? fn.fanin1 : fn.fanin0;
-    const Lit mine = on0 ? fn.fanin0 : fn.fanin1;
+    const Lit other = on0 ? fn.fanin1.lit() : fn.fanin0.lit();
+    const Lit mine = on0 ? fn.fanin0.lit() : fn.fanin1.lit();
     const Lit substituted = lit_not_cond(repl, lit_is_compl(mine));
 
     // Would the patched node be trivial or a duplicate?
@@ -305,15 +470,15 @@ void Aig::patch_fanout(Var fanout, Var v, Lit repl) {
     }
 
     // Physical in-place patch.
-    strash_.erase(strash_key(fn.fanin0, fn.fanin1));
+    strash_.erase(strash_key(fn.fanin0.lit(), fn.fanin1.lit()));
     Lit a = substituted;
     Lit b = other;
     if (a > b) {
         std::swap(a, b);
     }
-    fn.fanin0 = a;
-    fn.fanin1 = b;
-    strash_.emplace(strash_key(a, b), fanout);
+    fn.fanin0 = NodeRef::from_lit(a);
+    fn.fanin1 = NodeRef::from_lit(b);
+    strash_.insert(strash_key(a, b), fanout);
     fanout_remove(v, fanout);
     deref_var(v);
     fanout_add(lit_var(repl), fanout);
@@ -322,9 +487,9 @@ void Aig::patch_fanout(Var fanout, Var v, Lit repl) {
 
 void Aig::replace(Var v, Lit repl) {
     BG_EXPECTS(v < nodes_.size(), "replace: var out of range");
-    BG_EXPECTS(!nodes_[v].dead, "replace: v is dead");
+    BG_EXPECTS(!nodes_[v].dead(), "replace: v is dead");
     BG_EXPECTS(nodes_[v].is_and(), "replace: only AND nodes can be replaced");
-    BG_EXPECTS(!nodes_[lit_var(repl)].dead, "replace: repl is dead");
+    BG_EXPECTS(!nodes_[lit_var(repl)].dead(), "replace: repl is dead");
     BG_EXPECTS(lit_var(repl) != v, "replace: self-replacement");
     BG_EXPECTS(!is_in_tfi(lit_var(repl), v),
                "replace would create a combinational cycle");
@@ -336,16 +501,18 @@ void Aig::replace(Var v, Lit repl) {
 
     // Patch AND fanouts one at a time; each patch removes exactly one
     // occurrence of v from its fanout list (possibly recursively).
-    while (!fanouts_[v].empty()) {
-        patch_fanout(fanouts_[v].front(), v, repl);
+    while (!fanouts_.empty(v)) {
+        patch_fanout(fanouts_.front(v), v, repl);
     }
 
     // Patch PO references.
     for (auto& po : pos_) {
         if (lit_var(po) == v) {
             po = lit_not_cond(repl, lit_is_compl(po));
+            --po_ref_counts_[v];
+            ++po_ref_counts_[lit_var(po)];
             deref_var(v);
-            ref_var(rv);
+            ref_var(lit_var(po));
         }
     }
 
@@ -356,18 +523,20 @@ void Aig::replace(Var v, Lit repl) {
 
 Aig Aig::compact(std::vector<Lit>* old_to_new) const {
     Aig out;
+    out.reserve(1 + num_pis() + num_ands());
     std::vector<Lit> map(nodes_.size(), null_lit);
     map[0] = lit_false;
     for (const Var v : pis_) {
         map[v] = out.add_pi();
     }
     for (const Var v : topo_ands()) {
-        const Lit f0 = map[lit_var(nodes_[v].fanin0)];
-        const Lit f1 = map[lit_var(nodes_[v].fanin1)];
+        const Lit f0 = map[nodes_[v].fanin0.index()];
+        const Lit f1 = map[nodes_[v].fanin1.index()];
         BG_ASSERT(f0 != null_lit && f1 != null_lit,
                   "compact: fanin not yet mapped");
-        map[v] = out.and_(lit_not_cond(f0, lit_is_compl(nodes_[v].fanin0)),
-                          lit_not_cond(f1, lit_is_compl(nodes_[v].fanin1)));
+        map[v] =
+            out.and_(lit_not_cond(f0, nodes_[v].fanin0.complemented()),
+                     lit_not_cond(f1, nodes_[v].fanin1.complemented()));
     }
     for (const Lit po : pos_) {
         const Lit m = map[lit_var(po)];
@@ -382,53 +551,57 @@ Aig Aig::compact(std::vector<Lit>* old_to_new) const {
 
 void Aig::check_integrity() const {
     std::vector<std::uint32_t> expected_refs(nodes_.size(), 0);
+    std::vector<std::uint32_t> expected_po_refs(nodes_.size(), 0);
     std::size_t live_ands = 0;
 
     for (Var v = 0; v < nodes_.size(); ++v) {
         const auto& n = nodes_[v];
-        if (n.dead) {
-            BG_ASSERT(fanouts_[v].empty(), "dead node retains fanouts");
+        if (n.dead()) {
+            BG_ASSERT(fanouts_.list(v).empty(), "dead node retains fanouts");
             continue;
         }
         if (!n.is_and()) {
             continue;
         }
         ++live_ands;
-        const Var u0 = lit_var(n.fanin0);
-        const Var u1 = lit_var(n.fanin1);
+        const Var u0 = n.fanin0.index();
+        const Var u1 = n.fanin1.index();
         BG_ASSERT(u0 < nodes_.size() && u1 < nodes_.size(),
                   "fanin out of range");
-        BG_ASSERT(!nodes_[u0].dead && !nodes_[u1].dead,
+        BG_ASSERT(!nodes_[u0].dead() && !nodes_[u1].dead(),
                   "live node references a dead fanin");
-        BG_ASSERT(n.fanin0 <= n.fanin1, "fanins not normalized");
+        BG_ASSERT(n.fanin0.lit() <= n.fanin1.lit(), "fanins not normalized");
         BG_ASSERT(u0 != u1, "fanins share a variable");
         ++expected_refs[u0];
         ++expected_refs[u1];
         // Fanout symmetry.
         for (const Var u : {u0, u1}) {
-            const auto& list = fanouts_[u];
+            const auto list = fanouts_.list(u);
             BG_ASSERT(std::find(list.begin(), list.end(), v) != list.end(),
                       "fanin lacks the fanout back-reference");
         }
         // Strash consistency.
-        const auto it = strash_.find(strash_key(n.fanin0, n.fanin1));
-        BG_ASSERT(it != strash_.end() && it->second == v,
+        BG_ASSERT(strash_.find(strash_key(n.fanin0.lit(), n.fanin1.lit())) ==
+                      v,
                   "strash table out of sync with node");
     }
     for (const Lit po : pos_) {
-        BG_ASSERT(!nodes_[lit_var(po)].dead, "PO references a dead node");
+        BG_ASSERT(!nodes_[lit_var(po)].dead(), "PO references a dead node");
         ++expected_refs[lit_var(po)];
+        ++expected_po_refs[lit_var(po)];
     }
     for (Var v = 0; v < nodes_.size(); ++v) {
-        if (nodes_[v].dead) {
+        BG_ASSERT(po_ref_counts_[v] == expected_po_refs[v],
+                  "PO reference count mismatch at var " + std::to_string(v));
+        if (nodes_[v].dead()) {
             continue;
         }
         BG_ASSERT(nodes_[v].ref == expected_refs[v],
                   "reference count mismatch at var " + std::to_string(v));
-        for (const Var f : fanouts_[v]) {
-            BG_ASSERT(!nodes_[f].dead, "fanout list references a dead node");
-            BG_ASSERT(lit_var(nodes_[f].fanin0) == v ||
-                          lit_var(nodes_[f].fanin1) == v,
+        for (const Var f : fanouts_.list(v)) {
+            BG_ASSERT(!nodes_[f].dead(), "fanout list references a dead node");
+            BG_ASSERT(nodes_[f].fanin0.index() == v ||
+                          nodes_[f].fanin1.index() == v,
                       "fanout back-reference without matching fanin");
         }
     }
@@ -437,7 +610,7 @@ void Aig::check_integrity() const {
     // Acyclicity: a full topological order must exist.
     std::size_t live_total = 0;
     for (Var v = 0; v < nodes_.size(); ++v) {
-        live_total += nodes_[v].dead ? 0 : 1;
+        live_total += nodes_[v].dead() ? 0 : 1;
     }
     BG_ASSERT(topo_all().size() == live_total,
               "graph contains a combinational cycle");

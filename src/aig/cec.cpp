@@ -158,16 +158,17 @@ std::uint64_t structural_fingerprint(const Aig& g) {
     std::uint32_t next = static_cast<std::uint32_t>(1 + g.num_pis());
     mix(g.num_pis());
     mix(g.num_pos());
-    const auto mapped = [&renum](Lit l) {
-        return (static_cast<std::uint64_t>(renum[lit_var(l)]) << 1) |
-               (lit_is_compl(l) ? 1ULL : 0ULL);
+    const auto mapped = [&renum](NodeRef r) {
+        return (static_cast<std::uint64_t>(renum[r.index()]) << 1) |
+               (r.complemented() ? 1ULL : 0ULL);
     };
     for (const Var v : g.topo_ands()) {
-        mix((mapped(g.fanin0(v)) << 32) | mapped(g.fanin1(v)));
+        const auto [f0, f1] = g.fanin_refs(v);
+        mix((mapped(f0) << 32) | mapped(f1));
         renum[v] = next++;
     }
-    for (const Lit po : g.pos()) {
-        mix(mapped(po));
+    for (std::size_t i = 0; i < g.num_pos(); ++i) {
+        mix(mapped(g.po_ref(i)));
     }
     return h;
 }

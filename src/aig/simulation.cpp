@@ -16,15 +16,14 @@ SimVectors simulate(const Aig& g, const SimVectors& pi_patterns) {
         sigs[g.pi(i)] = pi_patterns[i];
     }
     for (const Var v : g.topo_ands()) {
-        const Lit f0 = g.fanin0(v);
-        const Lit f1 = g.fanin1(v);
-        const auto& a = sigs[lit_var(f0)];
-        const auto& b = sigs[lit_var(f1)];
+        const auto [f0, f1] = g.fanin_refs(v);
+        const auto& a = sigs[f0.index()];
+        const auto& b = sigs[f1.index()];
         BG_ASSERT(!a.empty() && !b.empty(), "fanin simulated out of order");
         auto& out = sigs[v];
         out.resize(words);
-        const std::uint64_t ca = lit_is_compl(f0) ? ~0ULL : 0ULL;
-        const std::uint64_t cb = lit_is_compl(f1) ? ~0ULL : 0ULL;
+        const std::uint64_t ca = f0.complemented() ? ~0ULL : 0ULL;
+        const std::uint64_t cb = f1.complemented() ? ~0ULL : 0ULL;
         for (std::size_t w = 0; w < words; ++w) {
             out[w] = (a[w] ^ ca) & (b[w] ^ cb);
         }

@@ -31,12 +31,17 @@ std::vector<BddManager::Ref> build_po_bdds_cancellable(BddManager& mgr,
         const auto r = node_bdd[aig::lit_var(l)];
         return aig::lit_is_compl(l) ? mgr.not_(r) : r;
     };
+    const auto ref_bdd = [&](aig::NodeRef f) {
+        const auto r = node_bdd[f.index()];
+        return f.complemented() ? mgr.not_(r) : r;
+    };
     std::size_t gates = 0;
     for (const aig::Var v : g.topo_ands()) {
         if ((++gates & 63U) == 0 && stop()) {
             throw BddCancelled{};
         }
-        node_bdd[v] = mgr.and_(lit_bdd(g.fanin0(v)), lit_bdd(g.fanin1(v)));
+        const auto [f0, f1] = g.fanin_refs(v);
+        node_bdd[v] = mgr.and_(ref_bdd(f0), ref_bdd(f1));
     }
     std::vector<BddManager::Ref> pos;
     pos.reserve(g.num_pos());

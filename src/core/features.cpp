@@ -23,8 +23,8 @@ StaticFeatures compute_static_features(const Aig& g,
             row.fill(pi_fill);  // PIs, the constant, and tombstones
             return;
         }
-        row[0] = aig::lit_is_compl(g.fanin0(v)) ? 1.0F : 0.0F;
-        row[1] = aig::lit_is_compl(g.fanin1(v)) ? 1.0F : 0.0F;
+        row[0] = g.fanin0_ref(v).complemented() ? 1.0F : 0.0F;
+        row[1] = g.fanin1_ref(v).complemented() ? 1.0F : 0.0F;
         const OpKind ops[3] = {OpKind::Rewrite, OpKind::Resub,
                                OpKind::Refactor};
         for (int k = 0; k < 3; ++k) {
@@ -109,8 +109,9 @@ GraphCsr build_csr(const Aig& g) {
         if (!g.is_and(v) || g.is_dead(v)) {
             continue;
         }
-        const Var u0 = aig::lit_var(g.fanin0(v));
-        const Var u1 = aig::lit_var(g.fanin1(v));
+        const auto [f0, f1] = g.fanin_refs(v);
+        const Var u0 = f0.index();
+        const Var u1 = f1.index();
         degree[v] += 2;
         ++degree[u0];
         ++degree[u1];
@@ -127,8 +128,8 @@ GraphCsr build_csr(const Aig& g) {
         if (!g.is_and(v) || g.is_dead(v)) {
             continue;
         }
-        for (const auto f : {g.fanin0(v), g.fanin1(v)}) {
-            const Var u = aig::lit_var(f);
+        for (const aig::NodeRef f : g.fanin_refs(v)) {
+            const Var u = f.index();
             csr.neighbors[static_cast<std::size_t>(cursor[v]++)] =
                 static_cast<std::int32_t>(u);
             csr.neighbors[static_cast<std::size_t>(cursor[u]++)] =

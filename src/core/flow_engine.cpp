@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "circuits/design_source.hpp"
 #include "circuits/registry.hpp"
 #include "core/flow_service.hpp"
 #include "util/contracts.hpp"
+#include "util/glob.hpp"
 #include "util/progress.hpp"
 
 namespace bg::core {
@@ -208,36 +210,8 @@ std::vector<DesignJob> jobs_from_registry(std::span<const std::string> names,
     return jobs;
 }
 
-namespace {
-
-bool glob_match_impl(const char* pat, const char* str) {
-    // Iterative '*'/'?' matcher with single-star backtracking.
-    const char* star = nullptr;
-    const char* resume = nullptr;
-    while (*str != '\0') {
-        if (*pat == *str || *pat == '?') {
-            ++pat;
-            ++str;
-        } else if (*pat == '*') {
-            star = pat++;
-            resume = str;
-        } else if (star != nullptr) {
-            pat = star + 1;
-            str = ++resume;
-        } else {
-            return false;
-        }
-    }
-    while (*pat == '*') {
-        ++pat;
-    }
-    return *pat == '\0';
-}
-
-}  // namespace
-
 bool glob_match(const std::string& pattern, const std::string& text) {
-    return glob_match_impl(pattern.c_str(), text.c_str());
+    return bg::glob_match(pattern, text);
 }
 
 std::vector<std::string> expand_registry_pattern(const std::string& pattern) {
@@ -248,6 +222,16 @@ std::vector<std::string> expand_registry_pattern(const std::string& pattern) {
         }
     }
     return out;
+}
+
+std::vector<DesignJob> jobs_from_specs(const std::vector<std::string>& specs,
+                                       bool all, double scale) {
+    std::vector<DesignJob> jobs;
+    for (const auto& r :
+         circuits::resolve_design_specs(specs, all, scale)) {
+        jobs.push_back({r.name, r.load()});
+    }
+    return jobs;
 }
 
 }  // namespace bg::core

@@ -151,4 +151,12 @@ bool glob_match(const std::string& pattern, const std::string& text);
 /// a literal name matches itself.  Returns names in registry order.
 std::vector<std::string> expand_registry_pattern(const std::string& pattern);
 
+/// Full design-spec resolution (circuits::resolve_design_specs semantics:
+/// registry names, name@scale, registry globs, file:<path|glob>, bare
+/// netlist paths; `all` prepends the whole registry) with every design
+/// loaded into a job.  Throws circuits::DesignSourceError on unknown
+/// names, empty globs, or unreadable/malformed files.
+std::vector<DesignJob> jobs_from_specs(const std::vector<std::string>& specs,
+                                       bool all, double scale = 1.0);
+
 }  // namespace bg::core

@@ -43,8 +43,8 @@ std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
                     next.push_back(cut[j]);
                 }
             }
-            for (const Lit f : {g.fanin0(leaf), g.fanin1(leaf)}) {
-                const Var u = aig::lit_var(f);
+            for (const aig::NodeRef f : g.fanin_refs(leaf)) {
+                const Var u = f.index();
                 if (u != 0 &&
                     std::find(next.begin(), next.end(), u) == next.end()) {
                     next.push_back(u);
@@ -82,8 +82,8 @@ std::vector<Var> reconv_cut(const Aig& g, Var root, unsigned max_leaves) {
 
     const auto expansion_cost = [&](Var leaf) {
         int fresh = 0;
-        for (const Lit f : {g.fanin0(leaf), g.fanin1(leaf)}) {
-            const Var u = aig::lit_var(f);
+        for (const aig::NodeRef f : g.fanin_refs(leaf)) {
+            const Var u = f.index();
             if (u != 0 &&
                 std::find(leaves.begin(), leaves.end(), u) == leaves.end()) {
                 ++fresh;
@@ -115,8 +115,8 @@ std::vector<Var> reconv_cut(const Aig& g, Var root, unsigned max_leaves) {
         }
         // Expand `best`.
         leaves.erase(std::find(leaves.begin(), leaves.end(), best));
-        for (const Lit f : {g.fanin0(best), g.fanin1(best)}) {
-            const Var u = aig::lit_var(f);
+        for (const aig::NodeRef f : g.fanin_refs(best)) {
+            const Var u = f.index();
             if (u != 0 &&
                 std::find(leaves.begin(), leaves.end(), u) == leaves.end()) {
                 leaves.push_back(u);
@@ -150,8 +150,9 @@ std::unordered_map<Var, TruthTable> cone_functions(
         }
         BG_ASSERT(g.is_and(v),
                   "cone walk escaped the cut (leaves do not form a cut)");
-        const Var u0 = aig::lit_var(g.fanin0(v));
-        const Var u1 = aig::lit_var(g.fanin1(v));
+        const auto [f0, f1] = g.fanin_refs(v);
+        const Var u0 = f0.index();
+        const Var u1 = f1.index();
         const bool need0 = u0 != 0 && !fn.contains(u0);
         const bool need1 = u1 != 0 && !fn.contains(u1);
         if (need0) {
@@ -164,13 +165,13 @@ std::unordered_map<Var, TruthTable> cone_functions(
             continue;
         }
         stack.pop_back();
-        const auto value_of = [&](Lit l) {
-            const Var u = aig::lit_var(l);
+        const auto value_of = [&](aig::NodeRef r) {
+            const Var u = r.index();
             TruthTable t =
                 u == 0 ? TruthTable::zeros(nv) : fn.at(u);
-            return aig::lit_is_compl(l) ? ~t : t;
+            return r.complemented() ? ~t : t;
         };
-        fn.emplace(v, value_of(g.fanin0(v)) & value_of(g.fanin1(v)));
+        fn.emplace(v, value_of(f0) & value_of(f1));
     }
     return fn;
 }

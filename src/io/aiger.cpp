@@ -70,6 +70,7 @@ Aig read_aiger(std::istream& in) {
     }
 
     Aig g;
+    g.reserve(static_cast<std::size_t>(m) + 1);
     // AIGER var k corresponds 1:1 to our var k as long as inputs come
     // first; the format guarantees input literals 2,4,...,2I.
     for (std::uint64_t k = 0; k < i; ++k) {
@@ -252,6 +253,7 @@ Aig read_aiger_binary(std::istream& in) {
     }
 
     Aig g;
+    g.reserve(static_cast<std::size_t>(m) + 1);
     std::vector<Lit> var_map(m + 1, aig::null_lit);
     var_map[0] = aig::lit_false;
     for (std::uint64_t k = 0; k < i; ++k) {

@@ -24,9 +24,9 @@ void write_dot(const Aig& g, std::ostream& out) {
     };
     for (const Var v : g.topo_ands()) {
         out << "  n" << v << " [label=\"" << v << "\", shape=circle];\n";
-        for (const Lit f : {g.fanin0(v), g.fanin1(v)}) {
-            out << "  " << node_name(aig::lit_var(f)) << " -> n" << v;
-            if (aig::lit_is_compl(f)) {
+        for (const aig::NodeRef f : g.fanin_refs(v)) {
+            out << "  " << node_name(f.index()) << " -> n" << v;
+            if (f.complemented()) {
                 out << " [style=dashed]";
             }
             out << ";\n";

@@ -39,13 +39,13 @@ struct Balancer {
     /// that are non-complemented single-fanout AND nodes; everything else
     /// becomes a leaf literal (in old-graph space).
     void collect_leaves(Var v, std::vector<Lit>& leaves) const {
-        for (const Lit f : {old.fanin0(v), old.fanin1(v)}) {
-            const Var u = aig::lit_var(f);
-            if (!aig::lit_is_compl(f) && old.is_and(u) &&
+        for (const aig::NodeRef f : old.fanin_refs(v)) {
+            const Var u = f.index();
+            if (!f.complemented() && old.is_and(u) &&
                 old.ref_count(u) == 1) {
                 collect_leaves(u, leaves);
             } else {
-                leaves.push_back(f);
+                leaves.push_back(f.lit());
             }
         }
     }

@@ -62,8 +62,8 @@ LutMapping map_to_luts(const Aig& g, const LutMapParams& params) {
 
     const auto order = g.topo_ands();
     for (const Var v : order) {
-        const Var u0 = aig::lit_var(g.fanin0(v));
-        const Var u1 = aig::lit_var(g.fanin1(v));
+        const Var u0 = g.fanin0_ref(v).index();
+        const Var u1 = g.fanin1_ref(v).index();
         struct Scored {
             std::vector<Var> leaves;
             std::uint32_t arrival;

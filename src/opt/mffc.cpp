@@ -23,8 +23,8 @@ void deref_rec(const Aig& g, Var v,
                std::unordered_map<Var, std::uint32_t>& deficit,
                std::vector<Var>& out) {
     out.push_back(v);
-    for (const Lit f : {g.fanin0(v), g.fanin1(v)}) {
-        const Var u = aig::lit_var(f);
+    for (const aig::NodeRef f : g.fanin_refs(v)) {
+        const Var u = f.index();
         const std::uint32_t d = ++deficit[u];
         BG_ASSERT(d <= g.ref_count(u), "MFFC deficit exceeds reference count");
         if (d == g.ref_count(u) && g.is_and(u) && !leaf_set.contains(u)) {

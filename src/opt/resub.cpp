@@ -75,16 +75,15 @@ CheckResult check_resub(const Aig& g, Var v, const OptParams& params) {
                     dying_set.contains(w)) {
                     continue;
                 }
-                const Var u0 = aig::lit_var(g.fanin0(w));
-                const Var u1 = aig::lit_var(g.fanin1(w));
-                if (!fns.contains(u0) || !fns.contains(u1)) {
+                const auto [f0, f1] = g.fanin_refs(w);
+                if (!fns.contains(f0.index()) || !fns.contains(f1.index())) {
                     continue;
                 }
-                const auto val = [&](Lit l) {
-                    const auto t = fns.at(aig::lit_var(l));
-                    return aig::lit_is_compl(l) ? ~t : t;
+                const auto val = [&](aig::NodeRef r) {
+                    const auto t = fns.at(r.index());
+                    return r.complemented() ? ~t : t;
                 };
-                fns.emplace(w, val(g.fanin0(w)) & val(g.fanin1(w)));
+                fns.emplace(w, val(f0) & val(f1));
                 divisors.push_back(w);
                 grew = true;
                 if (divisors.size() >= params.resub_max_divisors) {

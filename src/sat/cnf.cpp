@@ -15,8 +15,9 @@ std::vector<Var> encode_aig(Solver& solver, const aig::Aig& g) {
     for (const aig::Var v : g.topo_ands()) {
         map[v] = solver.new_var();
         const Lit x = mk_lit(map[v]);
-        const Lit a = lit_for(map, g.fanin0(v));
-        const Lit b = lit_for(map, g.fanin1(v));
+        const auto [f0, f1] = g.fanin_refs(v);
+        const Lit a = lit_for(map, f0);
+        const Lit b = lit_for(map, f1);
         solver.add_clause({lit_neg(x), a});
         solver.add_clause({lit_neg(x), b});
         solver.add_clause({x, lit_neg(a), lit_neg(b)});
@@ -28,6 +29,12 @@ Lit lit_for(const std::vector<Var>& mapping, aig::Lit l) {
     const Var v = mapping[aig::lit_var(l)];
     BG_EXPECTS(v >= 0, "AIG literal was not encoded");
     return mk_lit(v, aig::lit_is_compl(l));
+}
+
+Lit lit_for(const std::vector<Var>& mapping, aig::NodeRef r) {
+    const Var v = mapping[r.index()];
+    BG_EXPECTS(v >= 0, "AIG reference was not encoded");
+    return mk_lit(v, r.complemented());
 }
 
 MiterEncoding encode_miter(Solver& solver, const aig::Aig& a,
@@ -48,8 +55,9 @@ MiterEncoding encode_miter(Solver& solver, const aig::Aig& a,
     for (const aig::Var v : b.topo_ands()) {
         enc.map_b[v] = solver.new_var();
         const Lit x = mk_lit(enc.map_b[v]);
-        const Lit fa = lit_for(enc.map_b, b.fanin0(v));
-        const Lit fb = lit_for(enc.map_b, b.fanin1(v));
+        const auto [f0, f1] = b.fanin_refs(v);
+        const Lit fa = lit_for(enc.map_b, f0);
+        const Lit fb = lit_for(enc.map_b, f1);
         solver.add_clause({lit_neg(x), fa});
         solver.add_clause({lit_neg(x), fb});
         solver.add_clause({x, lit_neg(fa), lit_neg(fb)});

@@ -19,6 +19,9 @@ std::vector<Var> encode_aig(Solver& solver, const aig::Aig& g);
 
 /// SAT literal for an AIG literal under a mapping from encode_aig.
 Lit lit_for(const std::vector<Var>& mapping, aig::Lit l);
+/// Same, for a packed fanin reference (avoids the Lit round trip on the
+/// encode hot path).
+Lit lit_for(const std::vector<Var>& mapping, aig::NodeRef r);
 
 /// Outcome of a miter proof.
 struct MiterResult {

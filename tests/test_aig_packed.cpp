@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "circuits/registry.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bg::aig;  // NOLINT: test brevity
+
+// ---------------------------------------------------------------------------
+// NodeRef semantics
+// ---------------------------------------------------------------------------
+
+TEST(NodeRef, RawWordCoincidesWithLiteralEncoding) {
+    const NodeRef r(5, true);
+    EXPECT_EQ(r.raw(), make_lit(5, true));
+    EXPECT_EQ(r.lit(), make_lit(5, true));
+    EXPECT_EQ(r.index(), 5u);
+    EXPECT_TRUE(r.complemented());
+
+    const NodeRef p(5, false);
+    EXPECT_EQ(p.raw(), make_lit(5, false));
+    EXPECT_FALSE(p.complemented());
+
+    // Round trip through the literal encoding is the identity.
+    for (const Lit l : {lit_false, lit_true, make_lit(7), make_lit(7, true)}) {
+        EXPECT_EQ(NodeRef::from_lit(l).lit(), l);
+    }
+}
+
+TEST(NodeRef, ComplementOperators) {
+    const NodeRef r(9, false);
+    EXPECT_EQ((!r).lit(), make_lit(9, true));
+    EXPECT_EQ((!!r).lit(), r.lit());
+    EXPECT_EQ((r ^ true).lit(), make_lit(9, true));
+    EXPECT_EQ((r ^ false).lit(), r.lit());
+    EXPECT_EQ((!r).regular().lit(), make_lit(9, false));
+}
+
+TEST(NodeRef, OrderingMatchesLiteralOrdering) {
+    // and_()'s fanin normalization compares literals; NodeRef must agree.
+    const NodeRef a(3, false);
+    const NodeRef b(3, true);
+    const NodeRef c(4, false);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b < c);
+    EXPECT_TRUE(make_lit(3, false) < make_lit(3, true));
+    EXPECT_TRUE(make_lit(3, true) < make_lit(4, false));
+}
+
+TEST(NodeRef, NullAndConstants) {
+    EXPECT_TRUE(null_ref.is_null());
+    EXPECT_TRUE(NodeRef::from_lit(lit_false).is_const0());
+    EXPECT_TRUE(NodeRef::from_lit(lit_true).is_const1());
+    EXPECT_FALSE(NodeRef(2, false).is_null());
+    const NodeRef d;  // default-constructed == null
+    EXPECT_TRUE(d.is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Packed layout
+// ---------------------------------------------------------------------------
+
+TEST(PackedLayout, NodeRecordStaysWithin16Bytes) {
+    EXPECT_LE(Aig::node_bytes(), 16u);
+    EXPECT_EQ(sizeof(NodeRef), 4u);
+}
+
+TEST(PackedLayout, MemoryStatsAccountForCoreArrays) {
+    Aig g = bg::circuits::make_benchmark("b07");
+    const auto m = g.memory_stats();
+    EXPECT_GE(m.node_array_bytes, g.num_slots() * Aig::node_bytes());
+    EXPECT_GT(m.fanout_bytes, 0u);
+    EXPECT_GT(m.strash_bytes, 0u);
+    EXPECT_GT(m.po_count_bytes, 0u);
+    EXPECT_EQ(m.total(), m.node_array_bytes + m.fanout_bytes +
+                             m.strash_bytes + m.po_count_bytes);
+}
+
+TEST(PackedLayout, FaninRefAccessorsAgreeWithLiteralAccessors) {
+    const Aig g = bg::circuits::make_benchmark("b08");
+    for (const Var v : g.topo_ands()) {
+        EXPECT_EQ(g.fanin0_ref(v).lit(), g.fanin0(v));
+        EXPECT_EQ(g.fanin1_ref(v).lit(), g.fanin1(v));
+        const auto [f0, f1] = g.fanin_refs(v);
+        EXPECT_EQ(f0.lit(), g.fanin0(v));
+        EXPECT_EQ(f1.lit(), g.fanin1(v));
+        EXPECT_EQ(f0.index(), lit_var(g.fanin0(v)));
+        EXPECT_EQ(f0.complemented(), lit_is_compl(g.fanin0(v)));
+    }
+    for (std::size_t i = 0; i < g.num_pos(); ++i) {
+        EXPECT_EQ(g.po_ref(i).lit(), g.po(i));
+    }
+}
+
+TEST(PackedLayout, ReservePreservesBehavior) {
+    Aig a;
+    Aig b;
+    b.reserve(1000);
+    const Lit xa0 = a.add_pi();
+    const Lit xb0 = b.add_pi();
+    const Lit xa1 = a.add_pi();
+    const Lit xb1 = b.add_pi();
+    EXPECT_EQ(a.and_(xa0, xa1), b.and_(xb0, xb1));
+    EXPECT_EQ(a.xor_(xa0, xa1), b.xor_(xb0, xb1));
+    a.check_integrity();
+    b.check_integrity();
+}
+
+// ---------------------------------------------------------------------------
+// Fanout arena: iteration order is load-bearing (topo_all / Kahn)
+// ---------------------------------------------------------------------------
+
+TEST(FanoutArena, AppendOrderMatchesInsertion) {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit n1 = g.and_(a, b);
+    const Lit n2 = g.and_(a, c);
+    const Lit n3 = g.and_(a, lit_not(b));
+    const Var av = lit_var(a);
+    const auto fo = g.fanouts(av);
+    ASSERT_EQ(fo.size(), 3u);
+    EXPECT_EQ(fo[0], lit_var(n1));
+    EXPECT_EQ(fo[1], lit_var(n2));
+    EXPECT_EQ(fo[2], lit_var(n3));
+}
+
+TEST(FanoutArena, RemoveUsesSwapWithBack) {
+    // delete_unreferenced removes the first occurrence and swaps the back
+    // in — the historical vector semantics every topo order depends on.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit n1 = g.and_(a, b);
+    const Lit n2 = g.and_(a, c);
+    const Lit n3 = g.and_(a, lit_not(c));
+    g.add_po(n2);
+    g.add_po(n3);
+    // n1 is unreferenced; deleting it removes lit_var(n1) from a's list.
+    g.delete_unreferenced(lit_var(n1));
+    const auto fo = g.fanouts(lit_var(a));
+    ASSERT_EQ(fo.size(), 2u);
+    EXPECT_EQ(fo[0], lit_var(n3));  // back swapped into slot 0
+    EXPECT_EQ(fo[1], lit_var(n2));
+    g.check_integrity();
+}
+
+TEST(FanoutArena, HighFanoutGrowthKeepsOrder) {
+    Aig g;
+    const Lit a = g.add_pi();
+    std::vector<Lit> pis;
+    std::vector<Var> expect;
+    for (int i = 0; i < 200; ++i) {
+        pis.push_back(g.add_pi());
+    }
+    for (int i = 0; i < 200; ++i) {
+        expect.push_back(lit_var(g.and_(a, pis[static_cast<std::size_t>(i)])));
+    }
+    const auto fo = g.fanouts(lit_var(a));
+    ASSERT_EQ(fo.size(), expect.size());
+    EXPECT_TRUE(std::equal(fo.begin(), fo.end(), expect.begin()));
+    g.check_integrity();
+}
+
+TEST(FanoutArena, ChurnTriggersRepackWithoutCorruption) {
+    // Build/destroy enough structure to force arena block moves and the
+    // leak-reclaiming repack, then audit the graph.
+    Aig g;
+    bg::Rng rng(7);
+    std::vector<Lit> pool = g.add_pis(16);
+    for (int round = 0; round < 60; ++round) {
+        std::vector<Lit> roots;
+        for (int i = 0; i < 40; ++i) {
+            const Lit x = pool[rng.next_u64() % pool.size()];
+            const Lit y = pool[rng.next_u64() % pool.size()];
+            const Lit z =
+                g.and_(rng.next_u64() % 2 ? x : lit_not(x),
+                       rng.next_u64() % 2 ? y : lit_not(y));
+            roots.push_back(z);
+            pool.push_back(z);
+        }
+        // Drop every root again; unreferenced cones die and leak arena
+        // blocks until repack reclaims them.
+        for (const Lit r : roots) {
+            pool.erase(std::find(pool.begin(), pool.end(), r));
+            g.delete_unreferenced(lit_var(r));
+        }
+        g.check_integrity();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open-addressing strash under churn
+// ---------------------------------------------------------------------------
+
+TEST(StrashMap, LookupSurvivesTombstoneChurn) {
+    Aig g;
+    const auto pis = g.add_pis(10);
+    bg::Rng rng(13);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<Lit> created;
+        for (int i = 0; i < 30; ++i) {
+            const Lit x = pis[rng.next_u64() % pis.size()];
+            const Lit y = pis[rng.next_u64() % pis.size()];
+            created.push_back(g.and_(x, lit_not(y)));
+        }
+        // Strash hits must return the same node while alive.
+        for (std::size_t i = 0; i < created.size(); ++i) {
+            if (g.is_and(lit_var(created[i])) &&
+                !g.is_dead(lit_var(created[i]))) {
+                const Var v = lit_var(created[i]);
+                EXPECT_EQ(g.lookup_and(g.fanin0(v), g.fanin1(v)),
+                          make_lit(v));
+            }
+        }
+        for (const Lit c : created) {
+            g.delete_unreferenced(lit_var(c));
+        }
+        g.check_integrity();  // includes strash <-> node cross-audit
+    }
+    EXPECT_EQ(g.num_ands(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// O(1) po_refs
+// ---------------------------------------------------------------------------
+
+std::size_t po_refs_by_scan(const Aig& g, Var v) {
+    std::size_t n = 0;
+    for (const Lit po : g.pos()) {
+        n += lit_var(po) == v ? 1 : 0;
+    }
+    return n;
+}
+
+TEST(PoRefs, CountsMatchScanAfterChurn) {
+    Aig g;
+    const auto pis = g.add_pis(6);
+    const Lit n1 = g.and_(pis[0], pis[1]);
+    const Lit n2 = g.and_(n1, pis[2]);
+    const Lit n3 = g.and_(pis[3], pis[4]);
+    g.add_po(n2);
+    g.add_po(lit_not(n2));
+    g.add_po(n3);
+    g.add_po(pis[5]);
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        EXPECT_EQ(g.po_refs(v), po_refs_by_scan(g, v)) << "var " << v;
+    }
+    // replace() must migrate the counters with the PO patches.
+    g.replace(lit_var(n2), n3);
+    for (Var v = 0; v < g.num_slots(); ++v) {
+        EXPECT_EQ(g.po_refs(v), po_refs_by_scan(g, v)) << "var " << v;
+    }
+    EXPECT_EQ(g.po_refs(lit_var(n3)), 3u);
+    g.check_integrity();  // audits po_ref_counts_ against pos_
+}
+
+TEST(PoRefs, CompactRebuildsCounts) {
+    Aig g = bg::circuits::make_benchmark_scaled("b09", 0.3);
+    const Aig c = g.compact();
+    for (Var v = 0; v < c.num_slots(); ++v) {
+        EXPECT_EQ(c.po_refs(v), po_refs_by_scan(c, v));
+    }
+    c.check_integrity();
+}
+
+// ---------------------------------------------------------------------------
+// Replace cascades on the packed layout
+// ---------------------------------------------------------------------------
+
+TEST(PackedLayout, ReplaceCascadePreservesIntegrity) {
+    // A replace that triggers strash merges exercises patch_fanout's
+    // erase/re-insert path on the open-addressing table.
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    const Lit c = g.add_pi();
+    const Lit ab = g.and_(a, b);
+    const Lit ac = g.and_(a, c);
+    const Lit top1 = g.and_(ab, c);
+    const Lit top2 = g.and_(ac, b);
+    g.add_po(top1);
+    g.add_po(top2);
+    // Replacing ac with ab collapses top2 into and_(ab, b).
+    g.replace(lit_var(ac), ab);
+    g.check_integrity();
+    EXPECT_FALSE(g.is_dead(lit_var(top1)));
+}
+
+}  // namespace
