@@ -14,15 +14,20 @@
 ///            head instead of size-as-proxy), --lut-k sets the mapping K
 ///            for LUT labels (measured only when the luts head is on)
 ///   flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]
-///            [--workers W] [--scale S] [--seed S] [--model weights.bin]
-///            [--random] [--objective size|depth|luts[:K]|weighted:a,b]
+///            [--workers W] [--intra-workers W] [--scale S] [--seed S]
+///            [--model weights.bin] [--random] [--incremental-features]
+///            [--objective size|depth|luts[:K]|weighted:a,b]
 ///            batched GNN-guided flow over one or many designs; design
 ///            arguments may be registry globs (e.g. 'b1*'); --random
 ///            replaces priority-guided sampling with uniform sampling;
 ///            --objective picks the cost model candidates are ranked and
 ///            committed under (default size = AND count); the pruning
 ///            scores come from the model head matching the objective
-///            (size stands in when the checkpoint lacks the head)
+///            (size stands in when the checkpoint lacks the head);
+///            --intra-workers parallelizes candidate checks *inside* each
+///            orchestration pass (bit-identical to sequential);
+///            --incremental-features maintains per-design features across
+///            committed rounds instead of rebuilding them
 ///   serve    <design...>|--all [flow flags] [--repeat N]
 ///            [--swap-model weights.bin|fresh] [--swap-after N]
 ///            long-lived FlowService demo: submits every design (repeated
@@ -83,9 +88,10 @@ int usage() {
         "  train    <design> [-n N] [--epochs E] [--seed S]\n"
         "           [--heads size,depth,luts] [--lut-k K] [-o weights.bin]\n"
         "  flow     <design...>|--all [--samples N] [--top-k K] [--rounds R]\n"
-        "           [--workers W] [--scale S] [--seed S] [--model f]\n"
-        "           [--random] [--objective size|depth|luts[:K]|weighted:a,b]\n"
-        "           [--verify]\n"
+        "           [--workers W] [--intra-workers W] [--scale S] [--seed S]\n"
+        "           [--model f] [--random] [--verify]\n"
+        "           [--objective size|depth|luts[:K]|weighted:a,b]\n"
+        "           [--incremental-features]\n"
         "  serve    <design...>|--all [flow flags] [--repeat N]\n"
         "           [--swap-model f|fresh] [--swap-after N]\n"
         "  apply    <design> --decisions d.csv [-o out]\n"
@@ -315,6 +321,7 @@ FlowArgs parse_flow_args(std::vector<std::string>& args) {
     const auto topk_arg = flag_value(args, "--top-k");
     const auto rounds_arg = flag_value(args, "--rounds");
     const auto workers_arg = flag_value(args, "--workers");
+    const auto intra_workers_arg = flag_value(args, "--intra-workers");
     const auto scale_arg = flag_value(args, "--scale");
     const auto seed_arg = flag_value(args, "--seed");
     const auto objective_arg = flag_value(args, "--objective");
@@ -322,6 +329,8 @@ FlowArgs parse_flow_args(std::vector<std::string>& args) {
     out.all = flag_present(args, "--all");
     const bool random = flag_present(args, "--random");
     out.cfg.flow.verify = flag_present(args, "--verify");
+    out.cfg.flow.incremental_features =
+        flag_present(args, "--incremental-features");
 
     if (objective_arg) {
         out.cfg.flow.objective = bg::opt::make_objective(*objective_arg);
@@ -344,6 +353,12 @@ FlowArgs parse_flow_args(std::vector<std::string>& args) {
     out.cfg.workers =
         workers_arg
             ? static_cast<std::size_t>(std::atoll(workers_arg->c_str()))
+            : 0;
+    // Intra-design parallelism: speculative candidate checks inside each
+    // committed orchestration (bit-identical to sequential).
+    out.cfg.flow.intra_workers =
+        intra_workers_arg
+            ? static_cast<std::size_t>(std::atoll(intra_workers_arg->c_str()))
             : 0;
     out.scale = scale_arg ? std::stod(scale_arg->c_str()) : 1.0;
     return out;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "aig/footprint.hpp"
+#include "aig/visited.hpp"
+
 namespace bg::aig {
 
 // ---------------------------------------------------------------------------
@@ -198,7 +201,9 @@ Var Aig::new_node() {
     nodes_.emplace_back();
     fanouts_.add_node();
     po_ref_counts_.push_back(0);
-    return static_cast<Var>(nodes_.size() - 1);
+    const Var v = static_cast<Var>(nodes_.size() - 1);
+    touch(v, Read::Struct);
+    return v;
 }
 
 Lit Aig::add_pi() {
@@ -410,9 +415,16 @@ bool Aig::is_in_tfi(Var root, Var descendant) const {
     if (root == descendant) {
         return true;
     }
-    std::vector<Var> stack{root};
-    std::vector<bool> seen(nodes_.size(), false);
-    seen[root] = true;
+    // Epoch-marked scratch instead of a per-call vector<bool>: TFI walks
+    // run per candidate, and per region once walks go parallel.  Each
+    // thread owns its scratch, so concurrent walks never share marks.
+    thread_local EpochMarks seen;
+    thread_local std::vector<Var> stack;
+    seen.reset(nodes_.size());
+    stack.clear();
+    stack.push_back(root);
+    seen.set(root);
+    fp_touch(root, Read::Struct);
     while (!stack.empty()) {
         const Var v = stack.back();
         stack.pop_back();
@@ -424,8 +436,8 @@ bool Aig::is_in_tfi(Var root, Var descendant) const {
             if (u == descendant) {
                 return true;
             }
-            if (!seen[u]) {
-                seen[u] = true;
+            if (seen.insert(u)) {
+                fp_touch(u, Read::Struct);
                 stack.push_back(u);
             }
         }
@@ -438,6 +450,11 @@ void Aig::delete_unreferenced(Var v) {
     if (n.dead() || !n.is_and() || n.ref > 0) {
         return;
     }
+    // Death changes every aspect at once: the node vanishes, its (zero)
+    // reference count stops being readable, and its fanout list clears.
+    touch(v, Read::Struct);
+    touch(v, Read::Ref);
+    touch(v, Read::Fanout);
     n.set_dead(true);
     --num_ands_;
     strash_.erase(strash_key(n.fanin0.lit(), n.fanin1.lit()));

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "aig/footprint.hpp"
 #include "util/contracts.hpp"
 
 namespace bg::aig {
@@ -349,6 +350,19 @@ public:
     /// nodes.  Throws ContractViolation on the first inconsistency.
     void check_integrity() const;
 
+    // -- mutation journal --------------------------------------------------
+
+    /// Attach a mutation journal: every structural change appends the
+    /// affected var(s) — reference-count changes, fanout-edge changes,
+    /// node creation and death, PO attachment.  Entries are encoded
+    /// `fp_encode(var, Read)` (footprint.hpp) so readers can match each
+    /// change against the aspect a speculation actually read; entries may
+    /// repeat and readers dedupe.  Detach with nullptr.  The journal
+    /// pointer never follows a copy of the graph (speculative copies must
+    /// not write into the original's journal), so `Aig copy = g;` is
+    /// always journal-free.
+    void set_change_log(std::vector<Var>* log) { change_log_.log = log; }
+
     /// One-line description, e.g. "aig: pis=5 pos=2 ands=37 depth=9".
     std::string to_string() const;
 
@@ -376,19 +390,55 @@ private:
     static_assert(sizeof(Node) == 16,
                   "packed node record must stay within 16 bytes");
 
+    /// Non-owning journal pointer whose copy operations reset to null:
+    /// graph copies (including `current = current.compact()` assignments)
+    /// must never inherit the original's journal.
+    struct ChangeLogPtr {
+        std::vector<Var>* log = nullptr;
+        ChangeLogPtr() = default;
+        ChangeLogPtr(const ChangeLogPtr& /*other*/) {}
+        ChangeLogPtr& operator=(const ChangeLogPtr& /*other*/) {
+            log = nullptr;
+            return *this;
+        }
+        ChangeLogPtr(ChangeLogPtr&& other) noexcept { other.log = nullptr; }
+        ChangeLogPtr& operator=(ChangeLogPtr&& other) noexcept {
+            log = nullptr;
+            other.log = nullptr;
+            return *this;
+        }
+    };
+
+    void touch(Var v, Read k) {
+        if (change_log_.log != nullptr) [[unlikely]] {
+            change_log_.log->push_back(fp_encode(v, k));
+        }
+    }
+
     Var new_node();
     static std::uint64_t strash_key(Lit a, Lit b) {
         return (static_cast<std::uint64_t>(a) << 32) | b;
     }
-    void ref_var(Var v) { ++nodes_[v].ref; }
+    void ref_var(Var v) {
+        touch(v, Read::Ref);
+        ++nodes_[v].ref;
+    }
     void deref_var(Var v) {
         BG_ASSERT(nodes_[v].ref > 0, "reference count underflow");
+        touch(v, Read::Ref);
         --nodes_[v].ref;
     }
+    // A fanout-edge change alters the fanin endpoint's fanout list (and
+    // the strash-key population over it) and the fanout endpoint's fanin
+    // structure — two different read classes.
     void fanout_add(Var fanin, Var fanout) {
+        touch(fanin, Read::Fanout);
+        touch(fanout, Read::Struct);
         fanouts_.push_back(fanin, fanout);
     }
     void fanout_remove(Var fanin, Var fanout) {
+        touch(fanin, Read::Fanout);
+        touch(fanout, Read::Struct);
         fanouts_.remove(fanin, fanout);
     }
     /// Patch one fanout of `v` during replace(); may recurse.
@@ -403,6 +453,7 @@ private:
     std::vector<std::uint32_t> po_ref_counts_;
     detail::StrashMap strash_;
     std::size_t num_ands_ = 0;
+    ChangeLogPtr change_log_;
 };
 
 }  // namespace bg::aig

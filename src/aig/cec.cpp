@@ -99,6 +99,44 @@ CecResult check_equivalence_full(const Aig& a, const Aig& b,
         return false;
     };
 
+    // Counterexample-guided pre-pass: simulate the caller's seed patterns
+    // (refutations pooled from earlier jobs) before spending any of the
+    // random budget — a recurring near-miss bug falls here immediately.
+    if (opts.seed_patterns != nullptr && !opts.seed_patterns->empty()) {
+        std::vector<const std::vector<bool>*> seeds;
+        for (const auto& s : *opts.seed_patterns) {
+            if (s.size() == n) {
+                seeds.push_back(&s);
+            }
+        }
+        if (!seeds.empty()) {
+            const std::size_t words = (seeds.size() + 63) / 64;
+            SimVectors pats(n, std::vector<std::uint64_t>(words, 0));
+            for (std::size_t p = 0; p < seeds.size(); ++p) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    if ((*seeds[p])[i]) {
+                        pats[i][p / 64] |= 1ULL << (p % 64);
+                    }
+                }
+            }
+            const std::uint64_t mask =
+                seeds.size() % 64 == 0
+                    ? ~0ULL
+                    : (1ULL << (seeds.size() % 64)) - 1;
+            res.words_simulated += words;
+            const Mismatch mm = find_mismatch(a, b, pats, mask);
+            if (mm.found) {
+                res.counterexample.resize(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                    res.counterexample[i] =
+                        ((pats[i][mm.word] >> mm.bit) & 1ULL) != 0;
+                }
+                res.verdict = CecVerdict::NotEquivalent;
+                return res;
+            }
+        }
+    }
+
     bg::Rng rng(opts.seed);
     // Chunk the budget to bound peak memory, but honor opts.random_words
     // exactly: the final chunk carries whatever remainder is left (the old

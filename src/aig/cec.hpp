@@ -46,6 +46,14 @@ struct CecOptions {
     /// Wall-clock budget in seconds (0 = unlimited), checked at the same
     /// points as `cancel`.
     double timeout_seconds = 0.0;
+    /// Counterexample-guided seeds: PI assignments simulated *before* the
+    /// random budget on the non-exhaustive path (patterns whose size does
+    /// not match the design's PI count are skipped).  The portfolio
+    /// prover feeds refuting patterns from earlier jobs here, so a near-
+    /// miss rewrite bug that SAT once caught is refuted by simulation in
+    /// microseconds on every later job.  The pointee must outlive the
+    /// call.
+    const std::vector<std::vector<bool>>* seed_patterns = nullptr;
 };
 
 /// Full outcome of a simulation equivalence check.
@@ -55,8 +63,9 @@ struct CecResult {
     /// when verdict == NotEquivalent.  Real by construction: it was found
     /// by simulating both designs.
     std::vector<bool> counterexample;
-    /// Random words actually simulated — equals opts.random_words unless
-    /// the check refuted, was cancelled or timed out early; 0 on the
+    /// Pattern words actually simulated (seed words + random words) —
+    /// equals opts.random_words plus the packed seed words unless the
+    /// check refuted, was cancelled or timed out early; 0 on the
     /// exhaustive path.
     std::size_t words_simulated = 0;
 };

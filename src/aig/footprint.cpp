@@ -1,0 +1,7 @@
+#include "aig/footprint.hpp"
+
+namespace bg::aig::detail {
+
+thread_local ReadFootprint* active_footprint = nullptr;
+
+}  // namespace bg::aig::detail

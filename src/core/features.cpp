@@ -11,32 +11,34 @@ using aig::Aig;
 using aig::Var;
 using opt::OpKind;
 
+void compute_static_row(const Aig& g, Var v, const opt::OptParams& params,
+                        std::array<float, static_dim>& row) {
+    if (!g.is_and(v) || g.is_dead(v)) {
+        row.fill(pi_fill);  // PIs, the constant, and tombstones
+        return;
+    }
+    row[0] = g.fanin0_ref(v).complemented() ? 1.0F : 0.0F;
+    row[1] = g.fanin1_ref(v).complemented() ? 1.0F : 0.0F;
+    const OpKind ops[3] = {OpKind::Rewrite, OpKind::Resub, OpKind::Refactor};
+    for (int k = 0; k < 3; ++k) {
+        const auto res = opt::check_op(g, v, ops[k], params);
+        row[2 + 2 * k] = res.applicable ? 1.0F : 0.0F;
+        // The embedded local gain stays the size delta under every
+        // objective: feature semantics (and trained weights) must not
+        // depend on the flow's cost model.
+        row[3 + 2 * k] = res.applicable
+                             ? static_cast<float>(res.gain.size_delta)
+                             : -1.0F;
+    }
+}
+
 StaticFeatures compute_static_features(const Aig& g,
                                        const opt::OptParams& params) {
     params.validate();
     StaticFeatures rows(g.num_slots());
     // The three checks are read-only, so per-node work parallelizes.
     bg::parallel_for(g.num_slots(), [&](std::size_t i) {
-        const Var v = static_cast<Var>(i);
-        auto& row = rows[v];
-        if (!g.is_and(v) || g.is_dead(v)) {
-            row.fill(pi_fill);  // PIs, the constant, and tombstones
-            return;
-        }
-        row[0] = g.fanin0_ref(v).complemented() ? 1.0F : 0.0F;
-        row[1] = g.fanin1_ref(v).complemented() ? 1.0F : 0.0F;
-        const OpKind ops[3] = {OpKind::Rewrite, OpKind::Resub,
-                               OpKind::Refactor};
-        for (int k = 0; k < 3; ++k) {
-            const auto res = opt::check_op(g, v, ops[k], params);
-            row[2 + 2 * k] = res.applicable ? 1.0F : 0.0F;
-            // The embedded local gain stays the size delta under every
-            // objective: feature semantics (and trained weights) must not
-            // depend on the flow's cost model.
-            row[3 + 2 * k] =
-                res.applicable ? static_cast<float>(res.gain.size_delta)
-                               : -1.0F;
-        }
+        compute_static_row(g, static_cast<Var>(i), params, rows[i]);
     });
     return rows;
 }

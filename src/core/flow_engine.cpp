@@ -32,15 +32,40 @@ DesignFlowResult run_design_flow(const DesignJob& job,
     // graph vs input design) — cheaper and strictly stronger than proving
     // each round; a single uncommitted round verifies inside run_flow.
     round_cfg.verify = flow_cfg.verify && rounds == 1;
+
+    // Commit-path intra parallelism: share the engine pool, else spin up
+    // a transient one (orchestrate_parallel stays bit-identical to the
+    // sequential pass either way).
+    std::optional<ThreadPool> intra_pool;
+    opt::IntraParallel intra;
+    if (flow_cfg.intra_workers >= 2) {
+        if (pool != nullptr) {
+            intra.pool = pool;
+        } else {
+            intra_pool.emplace(flow_cfg.intra_workers);
+            intra.pool = &*intra_pool;
+        }
+    }
+    FeatureCache cache;  // incremental mode only
     for (std::size_t round = 0; round < rounds; ++round) {
         round_cfg.seed = flow_cfg.seed + round;  // fresh samples per round
-        // Per-round caches shared by every flow step of this design.
-        const StaticFeatures st =
-            compute_static_features(current, round_cfg.opt);
-        const GraphCsr csr = build_csr(current);
+        // Per-round caches shared by every flow step of this design —
+        // rebuilt fresh each round, or maintained incrementally across
+        // commits from each pass's touched set.
+        StaticFeatures st;
+        GraphCsr csr;
         FlowContext ctx;
-        ctx.static_features = &st;
-        ctx.csr = &csr;
+        if (flow_cfg.incremental_features) {
+            if (!cache.valid()) {
+                cache.rebuild(current, round_cfg.opt, pool);
+            }
+            ctx.feature_cache = &cache;
+        } else {
+            st = compute_static_features(current, round_cfg.opt);
+            csr = build_csr(current);
+            ctx.static_features = &st;
+            ctx.csr = &csr;
+        }
         ctx.pool = pool;
         ctx.prover = prover;
         const FlowResult flow = run_flow(current, model, round_cfg, ctx);
@@ -62,8 +87,21 @@ DesignFlowResult run_design_flow(const DesignJob& job,
             break;  // single-shot: nothing is committed
         }
         auto decisions = flow.best_decisions;
-        (void)opt::orchestrate(current, decisions, round_cfg.opt, obj);
-        current = current.compact();
+        const auto commit = opt::orchestrate_parallel(
+            current, decisions, round_cfg.opt, obj, intra);
+        if (!flow_cfg.incremental_features) {
+            current = current.compact();
+        } else {
+            cache.update(current, round_cfg.opt, commit.touched, pool);
+            // Defer compaction until tombstones dominate; compacting
+            // remaps var ids, so the cache restarts from a full rebuild.
+            const std::size_t dead = current.num_slots() - 1 -
+                                     current.num_pis() - current.num_ands();
+            if (2 * dead >= current.num_slots()) {
+                current = current.compact();
+                cache.invalidate();
+            }
+        }
     }
     if (rounds == 1) {
         // Final size/depth are the best evaluated candidate's

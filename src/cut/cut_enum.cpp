@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "aig/footprint.hpp"
 #include "util/contracts.hpp"
 
 namespace bg::cut {
@@ -18,6 +19,7 @@ std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
     BG_EXPECTS(k >= 2 && k <= 8, "cut size must be in [2, 8]");
     BG_EXPECTS(g.is_and(root), "cuts are enumerated for AND nodes");
 
+    aig::fp_touch(root, aig::Read::Struct);
     std::vector<Cut> out;
     std::set<std::vector<Var>> seen;
     std::deque<std::vector<Var>> frontier;
@@ -33,6 +35,7 @@ std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
         // Try expanding each AND leaf.
         for (std::size_t i = 0; i < cut.size(); ++i) {
             const Var leaf = cut[i];
+            aig::fp_touch(leaf, aig::Read::Struct);
             if (!g.is_and(leaf)) {
                 continue;
             }
@@ -45,6 +48,7 @@ std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
             }
             for (const aig::NodeRef f : g.fanin_refs(leaf)) {
                 const Var u = f.index();
+                aig::fp_touch(u, aig::Read::Struct);
                 if (u != 0 &&
                     std::find(next.begin(), next.end(), u) == next.end()) {
                     next.push_back(u);
@@ -75,15 +79,18 @@ std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
 
 std::vector<Var> reconv_cut(const Aig& g, Var root, unsigned max_leaves) {
     BG_EXPECTS(max_leaves >= 2, "a cut needs at least two leaves");
+    aig::fp_touch(root, aig::Read::Struct);
     if (!g.is_and(root)) {
         return {};
     }
     std::vector<Var> leaves{root};
 
     const auto expansion_cost = [&](Var leaf) {
+        aig::fp_touch(leaf, aig::Read::Struct);
         int fresh = 0;
         for (const aig::NodeRef f : g.fanin_refs(leaf)) {
             const Var u = f.index();
+            aig::fp_touch(u, aig::Read::Struct);
             if (u != 0 &&
                 std::find(leaves.begin(), leaves.end(), u) == leaves.end()) {
                 ++fresh;
@@ -117,6 +124,7 @@ std::vector<Var> reconv_cut(const Aig& g, Var root, unsigned max_leaves) {
         leaves.erase(std::find(leaves.begin(), leaves.end(), best));
         for (const aig::NodeRef f : g.fanin_refs(best)) {
             const Var u = f.index();
+            aig::fp_touch(u, aig::Read::Struct);
             if (u != 0 &&
                 std::find(leaves.begin(), leaves.end(), u) == leaves.end()) {
                 leaves.push_back(u);
@@ -141,6 +149,7 @@ std::unordered_map<Var, TruthTable> cone_functions(
         fn.emplace(leaves[i], TruthTable::nth_var(nv, i));
     }
     // Iterative post-order evaluation from the root.
+    aig::fp_touch(root, aig::Read::Struct);
     std::vector<Var> stack{root};
     while (!stack.empty()) {
         const Var v = stack.back();
@@ -151,8 +160,11 @@ std::unordered_map<Var, TruthTable> cone_functions(
         BG_ASSERT(g.is_and(v),
                   "cone walk escaped the cut (leaves do not form a cut)");
         const auto [f0, f1] = g.fanin_refs(v);
+        aig::fp_touch(v, aig::Read::Struct);
         const Var u0 = f0.index();
         const Var u1 = f1.index();
+        aig::fp_touch(u0, aig::Read::Struct);
+        aig::fp_touch(u1, aig::Read::Struct);
         const bool need0 = u0 != 0 && !fn.contains(u0);
         const bool need1 = u1 != 0 && !fn.contains(u1);
         if (need0) {

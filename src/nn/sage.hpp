@@ -71,9 +71,13 @@ private:
 };
 
 /// H[i] = mean of X over i's neighbors, per batch block.  `h` is reused
-/// without reallocation when it already has the right shape.
+/// without reallocation when it already has the right shape.  `pool`
+/// shards the row range edge-balanced (boundaries from a binary search on
+/// the CSR offsets, so heavy hubs don't serialize a shard); every row is
+/// accumulated wholly inside one shard in the same order as the serial
+/// loop, so the result is bit-identical at any worker count.
 void mean_aggregate(ConstMatrixView x, const Csr& csr, std::size_t batch,
-                    Matrix& h);
+                    Matrix& h, bg::ThreadPool* pool = nullptr);
 /// Transposed aggregation: DX[j] += DH[i]/deg(i) for each edge (i, j).
 void mean_aggregate_transpose(ConstMatrixView dh, const Csr& csr,
                               std::size_t batch, Matrix& dx);

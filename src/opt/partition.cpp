@@ -1,0 +1,149 @@
+#include "opt/partition.hpp"
+
+#include <algorithm>
+
+#include "aig/visited.hpp"
+#include "opt/mffc.hpp"
+#include "util/contracts.hpp"
+
+namespace bg::opt {
+
+using aig::Aig;
+using aig::Var;
+
+namespace {
+
+constexpr std::size_t k_unowned = ~std::size_t{0};
+
+/// Union-find over region ids with path halving; merges always point the
+/// later id at the earlier one, so find() yields the surviving interval.
+std::size_t find_region(std::vector<std::size_t>& parent, std::size_t id) {
+    while (parent[id] != id) {
+        parent[id] = parent[parent[id]];
+        id = parent[id];
+    }
+    return id;
+}
+
+/// Union of the fanin cones (inclusive TFI down to PIs) of a region's
+/// roots, deduplicated via epoch marks.
+std::vector<Var> fanin_cone_union(const Aig& g, std::span<const Var> roots) {
+    thread_local aig::EpochMarks seen;
+    seen.reset(g.num_slots());
+    std::vector<Var> cone;
+    std::vector<Var> stack;
+    for (const Var r : roots) {
+        if (seen.insert(r)) {
+            stack.push_back(r);
+            cone.push_back(r);
+        }
+    }
+    while (!stack.empty()) {
+        const Var v = stack.back();
+        stack.pop_back();
+        if (!g.is_and(v)) {
+            continue;
+        }
+        for (const aig::NodeRef f : g.fanin_refs(v)) {
+            const Var u = f.index();
+            if (seen.insert(u)) {
+                stack.push_back(u);
+                cone.push_back(u);
+            }
+        }
+    }
+    std::sort(cone.begin(), cone.end());
+    return cone;
+}
+
+}  // namespace
+
+PartitionResult partition_regions(const Aig& g, std::span<const Var> roots,
+                                  const PartitionOptions& opts) {
+    BG_EXPECTS(opts.target_roots >= 1, "regions need at least one root");
+    PartitionResult res;
+    if (roots.empty()) {
+        return res;
+    }
+
+    // Interval starts (index into `roots`) of each surviving region, plus
+    // a union-find over all region ids ever opened (merged ids map to the
+    // surviving earlier id).  `id_start` maps a region id to the root
+    // index where it opened — ids survive merges, `starts` entries do not.
+    std::vector<std::size_t> starts{0};
+    std::vector<std::size_t> parent{0};
+    std::vector<std::size_t> id_start{0};
+    std::vector<std::size_t> owner(g.num_slots(), k_unowned);
+    std::size_t open_roots = 0;  // roots in the currently open region
+
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+        const Var root = roots[i];
+        BG_EXPECTS(g.is_and(root) && !g.is_dead(root),
+                   "partition roots must be live AND nodes");
+        std::size_t cur = find_region(parent, parent.size() - 1);
+        const MffcResult m = mffc(g, root);
+        for (const Var v : m.nodes) {
+            if (owner[v] == k_unowned) {
+                continue;
+            }
+            const std::size_t other = find_region(parent, owner[v]);
+            if (other == cur) {
+                continue;
+            }
+            // Overlap with an earlier region: collapse every interval
+            // after it into one.  `other` is always earlier because
+            // owners are stamped in root order.
+            BG_ASSERT(other < cur, "owner region must precede current");
+            for (std::size_t id = other + 1; id < parent.size(); ++id) {
+                parent[find_region(parent, id)] = other;
+            }
+            while (starts.size() > 1 && starts.back() > id_start[other]) {
+                starts.pop_back();
+            }
+            // Roots between the merged region's start and i all belong to
+            // the collapsed interval now.
+            open_roots = i - starts.back();
+            ++res.merges;
+            cur = other;
+        }
+        for (const Var v : m.nodes) {
+            owner[v] = cur;
+        }
+        ++open_roots;
+        if (open_roots >= opts.target_roots && i + 1 < roots.size()) {
+            starts.push_back(i + 1);
+            parent.push_back(parent.size());
+            id_start.push_back(i + 1);
+            open_roots = 0;
+        }
+    }
+
+    res.regions.reserve(starts.size());
+    for (std::size_t k = 0; k < starts.size(); ++k) {
+        Region r;
+        r.first = starts[k];
+        r.count = (k + 1 < starts.size() ? starts[k + 1] : roots.size()) -
+                  starts[k];
+        res.regions.push_back(std::move(r));
+    }
+
+    if (opts.with_footprints) {
+        for (Region& r : res.regions) {
+            const auto span = roots.subspan(r.first, r.count);
+            thread_local aig::EpochMarks in_mffc;
+            in_mffc.reset(g.num_slots());
+            for (const Var root : span) {
+                for (const Var v : mffc(g, root).nodes) {
+                    if (in_mffc.insert(v)) {
+                        r.mffc_nodes.push_back(v);
+                    }
+                }
+            }
+            std::sort(r.mffc_nodes.begin(), r.mffc_nodes.end());
+            r.footprint = fanin_cone_union(g, span);
+        }
+    }
+    return res;
+}
+
+}  // namespace bg::opt

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file partition.hpp
+/// MFFC-disjoint region partitioning for intra-design parallel
+/// optimization.
+///
+/// A *region* is a contiguous run of the candidate root list (which the
+/// orchestrator takes in topological order), chosen so that no two
+/// regions contain roots with overlapping MFFCs: a transform committed at
+/// a root only ever deletes nodes inside that root's MFFC, so
+/// MFFC-disjoint regions can be *speculated* concurrently — their
+/// structural deletions cannot collide.  Contiguity is the determinism
+/// lever: committing region-by-region in order visits roots in exactly
+/// the sequential topological order, which is what pins the parallel
+/// orchestrator bit-identical to the sequential one.
+///
+/// Overlap handling: MFFCs are computed root-by-root in topological
+/// order with owner stamping.  When a root's MFFC reaches into a node
+/// already owned by an earlier region, the two MFFCs overlap — and since
+/// an MFFC overlap implies one root lies in the other's cone, the
+/// offending region is always a *recent* one, so regions r..current
+/// collapse into one contiguous interval (tracked by `merges`).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace bg::opt {
+
+struct Region {
+    std::size_t first = 0;  ///< index of the first root in the root list
+    std::size_t count = 0;  ///< number of roots in the region
+
+    /// Populated only when PartitionOptions::with_footprints is set
+    /// (invariant tests and diagnostics; the runtime conflict mechanism
+    /// is the recorded per-candidate read-set, not these):
+    std::vector<aig::Var> mffc_nodes;  ///< union of the roots' MFFCs
+    std::vector<aig::Var> footprint;   ///< union of the roots' fanin cones
+};
+
+struct PartitionOptions {
+    /// Preferred roots per region; regions may exceed this through
+    /// overlap merges and the final region may fall short of it.
+    std::size_t target_roots = 32;
+    /// Also compute mffc_nodes / footprint per region (costs an extra
+    /// cone walk per root; off on the runtime path).
+    bool with_footprints = false;
+};
+
+struct PartitionResult {
+    std::vector<Region> regions;
+    std::size_t merges = 0;  ///< overlap-triggered region collapses
+};
+
+/// Partition `roots` (topologically ordered candidate roots, e.g.
+/// `g.topo_ands()`) into MFFC-disjoint contiguous regions.  Every root
+/// lands in exactly one region and region order preserves root order.
+PartitionResult partition_regions(const aig::Aig& g,
+                                  std::span<const aig::Var> roots,
+                                  const PartitionOptions& opts = {});
+
+}  // namespace bg::opt

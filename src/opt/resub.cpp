@@ -1,6 +1,7 @@
 #include <algorithm>
-#include <unordered_set>
 
+#include "aig/footprint.hpp"
+#include "aig/visited.hpp"
 #include "cut/cut_enum.hpp"
 #include "opt/transform.hpp"
 #include "util/contracts.hpp"
@@ -22,20 +23,25 @@ using tt::TruthTable;
 
 namespace {
 
-/// Transitive fanout of v (including v), over live nodes.
-std::unordered_set<Var> tfo_set(const Aig& g, Var v) {
-    std::unordered_set<Var> out{v};
+/// Transitive fanout of v (including v) marked into epoch scratch —
+/// replaces the per-call hash set; thread_local at the call site keeps
+/// concurrent region walks independent.  Every member's fanout list is
+/// read, so every member is footprint-touched: a later fanout change
+/// anywhere in the TFO invalidates a speculated check.
+void tfo_mark(const Aig& g, Var v, aig::EpochMarks& out) {
+    out.reset(g.num_slots());
+    out.set(v);
     std::vector<Var> stack{v};
     while (!stack.empty()) {
         const Var u = stack.back();
         stack.pop_back();
+        aig::fp_touch(u, aig::Read::Fanout);
         for (const Var w : g.fanouts(u)) {
-            if (out.insert(w).second) {
+            if (out.insert(w)) {
                 stack.push_back(w);
             }
         }
     }
-    return out;
 }
 
 }  // namespace
@@ -51,28 +57,34 @@ CheckResult check_resub(const Aig& g, Var v, const OptParams& params) {
     }
     auto fns = cut::cone_functions(g, v, leaves);
     const MffcResult dying = mffc(g, v, leaves);
-    const std::unordered_set<Var> dying_set(dying.nodes.begin(),
-                                            dying.nodes.end());
+    thread_local aig::EpochMarks dying_set;
+    dying_set.reset(g.num_slots());
+    for (const Var d : dying.nodes) {
+        dying_set.set(d);
+    }
 
     // Divisors: window nodes outside the dying cone, plus side nodes whose
     // support lies inside the window and that are not in the root's TFO.
     std::vector<Var> divisors;
     for (const auto& [var, fn] : fns) {
-        if (var != v && !dying_set.contains(var)) {
+        if (var != v && !dying_set.test(var)) {
             divisors.push_back(var);
         }
     }
     std::sort(divisors.begin(), divisors.end());  // deterministic order
 
-    const auto tfo = tfo_set(g, v);
+    thread_local aig::EpochMarks tfo;
+    tfo_mark(g, v, tfo);
     bool grew = true;
     while (grew && divisors.size() < params.resub_max_divisors) {
         grew = false;
         const auto snapshot = divisors;
         for (const Var d : snapshot) {
+            aig::fp_touch(d, aig::Read::Fanout);  // scans d's fanout list
             for (const Var w : g.fanouts(d)) {
-                if (fns.contains(w) || tfo.contains(w) ||
-                    dying_set.contains(w)) {
+                aig::fp_touch(w, aig::Read::Struct);  // reads w's fanins
+                if (fns.contains(w) || tfo.test(w) ||
+                    dying_set.test(w)) {
                     continue;
                 }
                 const auto [f0, f1] = g.fanin_refs(w);

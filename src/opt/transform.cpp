@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "aig/footprint.hpp"
+#include "aig/visited.hpp"
 #include "util/contracts.hpp"
 
 namespace bg::opt {
@@ -140,9 +142,16 @@ struct ExtLit {
 
 int count_added_nodes(const Aig& g, Var root, const Candidate& cand,
                       const MffcResult& dying) {
-    const std::unordered_set<Var> dying_set(dying.nodes.begin(),
-                                            dying.nodes.end());
-    std::unordered_set<Var> revived;
+    // Epoch-stamped scratch replaces the per-call hash sets; checks run
+    // once per node per op and, in the parallel orchestrator, on many
+    // threads at once — thread_local keeps each walk's marks private.
+    thread_local aig::EpochMarks dying_set;
+    thread_local aig::EpochMarks revived;
+    dying_set.reset(g.num_slots());
+    revived.reset(g.num_slots());
+    for (const Var v : dying.nodes) {
+        dying_set.set(v);
+    }
     int added = 0;
     std::uint32_t next_virtual = 2;  // virtual var ids start at 1
     std::map<std::pair<std::uint64_t, std::uint64_t>, ExtLit> virtual_strash;
@@ -191,12 +200,21 @@ int count_added_nodes(const Aig& g, Var root, const Candidate& cand,
             continue;
         }
         if (a.concrete() && b.concrete()) {
+            // Strash reads: any strash-key change over (a, b) — creation,
+            // death, or an in-place patch producing that key — journals a
+            // fanout-edge change on at least one operand var, so
+            // fanout-class reads of both operands keep a miss-result
+            // speculation sound; a hit's node is recorded Struct so its
+            // death or patch invalidates.
+            aig::fp_touch(aig::lit_var(a.lit), aig::Read::Fanout);
+            aig::fp_touch(aig::lit_var(b.lit), aig::Read::Fanout);
             const Lit hit = g.lookup_and(a.lit, b.lit);
             if (hit != aig::null_lit) {
+                aig::fp_touch(aig::lit_var(hit), aig::Read::Struct);
                 slot = ExtLit{hit, 0};
                 const Var hv = aig::lit_var(hit);
-                if (g.is_and(hv) && dying_set.contains(hv) &&
-                    revived.insert(hv).second) {
+                if (g.is_and(hv) && dying_set.test(hv) &&
+                    revived.insert(hv)) {
                     ++added;  // reuse keeps a dying node alive
                 }
                 continue;

@@ -87,6 +87,34 @@ std::size_t PortfolioCec::cache_size() const {
     return cache_.size();
 }
 
+std::vector<std::vector<bool>> PortfolioCec::seed_patterns(
+    std::size_t num_pis) const {
+    const std::lock_guard<std::mutex> lock(cex_mu_);
+    const auto it = cex_pool_.find(num_pis);
+    if (it == cex_pool_.end()) {
+        return {};
+    }
+    return {it->second.begin(), it->second.end()};
+}
+
+void PortfolioCec::pool_counterexample(std::size_t num_pis,
+                                       const std::vector<bool>& cex) {
+    if (opts_.cex_pool_capacity == 0 || cex.size() != num_pis) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(cex_mu_);
+    auto& pool = cex_pool_[num_pis];
+    for (const auto& have : pool) {
+        if (have == cex) {
+            return;  // recurring witness: already pooled
+        }
+    }
+    while (pool.size() >= opts_.cex_pool_capacity) {
+        pool.pop_front();
+    }
+    pool.push_back(cex);
+}
+
 VerifyReport PortfolioCec::check(const aig::Aig& a, const aig::Aig& b) {
     BG_EXPECTS(a.num_pis() == b.num_pis(),
                "portfolio CEC requires matching PI counts");
@@ -106,10 +134,24 @@ VerifyReport PortfolioCec::check(const aig::Aig& a, const aig::Aig& b) {
         key = CacheKey{aig::structural_fingerprint(a),
                        aig::structural_fingerprint(b)};
         if (cache_get(key, report)) {
+            if (report.verdict == aig::CecVerdict::NotEquivalent &&
+                !report.counterexample.empty()) {
+                // Cached refutations feed the cross-job seed pool too: a
+                // different-structure job with the same PI width gets the
+                // witness even though its own fingerprints miss.
+                pool_counterexample(a.num_pis(), report.counterexample);
+            }
             report.seconds = elapsed();
             return report;
         }
     }
+
+    // Counterexample-guided simulation: earlier refutations with this PI
+    // width are simulated before any random budget (lifetime spans the
+    // race below — for_each joins every engine before `seeds` dies).
+    const std::vector<std::vector<bool>> seeds =
+        opts_.cex_pool_capacity > 0 ? seed_patterns(a.num_pis())
+                                    : std::vector<std::vector<bool>>{};
 
     // The race: one shared cancel flag, first definitive verdict wins via
     // CAS and cancels the others.  Engine outcomes land in per-engine
@@ -138,6 +180,9 @@ VerifyReport PortfolioCec::check(const aig::Aig& a, const aig::Aig& b) {
                 aig::CecOptions o = opts_.sim;
                 o.cancel = &cancel;
                 o.timeout_seconds = engine_timeout(o.timeout_seconds);
+                if (!seeds.empty() && o.seed_patterns == nullptr) {
+                    o.seed_patterns = &seeds;
+                }
                 auto r = aig::check_equivalence_full(a, b, o);
                 out.verdict = r.verdict;
                 out.counterexample = std::move(r.counterexample);
@@ -192,6 +237,10 @@ VerifyReport PortfolioCec::check(const aig::Aig& a, const aig::Aig& b) {
             outcomes[static_cast<std::size_t>(w)].counterexample);
         if (use_cache) {
             cache_put(key, report);
+        }
+        if (report.verdict == aig::CecVerdict::NotEquivalent &&
+            !report.counterexample.empty()) {
+            pool_counterexample(a.num_pis(), report.counterexample);
         }
     } else {
         // Every engine degraded within its budget: honest "probably".

@@ -61,6 +61,13 @@ struct PortfolioOptions {
     bool use_cache = true;
     /// FIFO capacity of the verdict cache.
     std::size_t cache_capacity = 4096;
+    /// Per-PI-count capacity of the cross-job counterexample pool (0
+    /// disables pooling).  Every definitive refutation's witness — SAT,
+    /// BDD or simulation, fresh or cache-served — is pooled and fed back
+    /// into the simulation engine as seed patterns on later jobs with the
+    /// same PI count, so a recurring bug is refuted by simulation before
+    /// any random budget is spent.
+    std::size_t cex_pool_capacity = 64;
 };
 
 /// Outcome of one portfolio check.
@@ -103,6 +110,11 @@ public:
     }
     std::size_t cache_size() const;
 
+    /// Snapshot of the pooled counterexamples for designs with `num_pis`
+    /// inputs (oldest first) — the seed patterns the next check() with
+    /// that PI count will simulate first.
+    std::vector<std::vector<bool>> seed_patterns(std::size_t num_pis) const;
+
 private:
     struct CacheKey {
         std::uint64_t fp_a = 0;
@@ -122,6 +134,8 @@ private:
 
     bool cache_get(const CacheKey& key, VerifyReport& out);
     void cache_put(const CacheKey& key, const VerifyReport& report);
+    void pool_counterexample(std::size_t num_pis,
+                             const std::vector<bool>& cex);
 
     PortfolioOptions opts_;
     ThreadPool* pool_ = nullptr;
@@ -131,6 +145,12 @@ private:
     std::deque<CacheKey> cache_order_;  // FIFO eviction
     std::atomic<std::size_t> cache_lookups_{0};
     std::atomic<std::size_t> cache_hits_{0};
+
+    /// Cross-job counterexample pool, keyed by PI count (a witness is
+    /// just a PI assignment, so it transfers between any designs of the
+    /// same width).  FIFO-bounded per key by cex_pool_capacity.
+    mutable std::mutex cex_mu_;
+    std::unordered_map<std::size_t, std::deque<std::vector<bool>>> cex_pool_;
 };
 
 }  // namespace bg::verify

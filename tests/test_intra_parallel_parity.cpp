@@ -1,0 +1,108 @@
+/// \file test_intra_parallel_parity.cpp
+/// Whole-flow pin for the intra-design parallel path: run_flow and
+/// run_iterated_flow with FlowConfig::intra_workers at 1/2/4 must
+/// reproduce the sequential (intra_workers = 0) result field for field on
+/// every registry design — no float tolerance.  This is the user-visible
+/// acceptance bar for the partition/speculate/ordered-commit refactor:
+/// parallelism is a pure latency optimization, invisible in the output.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "core/flow.hpp"
+#include "core/flow_engine.hpp"
+
+namespace {
+
+using namespace bg::core;  // NOLINT: test brevity
+
+ModelConfig parity_model_config() {
+    ModelConfig cfg;
+    cfg.sage_dims = {12, 12, 8};
+    cfg.mlp_dims = {16, 8, 1};
+    cfg.dropout = 0.0F;
+    cfg.seed = 29;
+    return cfg;
+}
+
+FlowConfig parity_flow() {
+    FlowConfig fc;
+    fc.num_samples = 16;
+    fc.top_k = 3;
+    fc.seed = 5;
+    return fc;
+}
+
+void expect_bit_identical(const FlowResult& got, const FlowResult& want) {
+    EXPECT_EQ(got.original_size, want.original_size);
+    EXPECT_EQ(got.predictions, want.predictions);
+    EXPECT_EQ(got.selected, want.selected);
+    EXPECT_EQ(got.reductions, want.reductions);
+    EXPECT_EQ(got.best_reduction, want.best_reduction);
+    EXPECT_EQ(got.bg_best_ratio, want.bg_best_ratio);
+    EXPECT_EQ(got.bg_mean_ratio, want.bg_mean_ratio);
+    EXPECT_EQ(got.best_decisions, want.best_decisions);
+}
+
+TEST(IntraParallelParity, RunFlowIdenticalAcrossIntraWorkerCounts) {
+    const BoolGebraModel model{parity_model_config()};
+    for (const auto& name : bg::circuits::benchmark_names()) {
+        const auto design = bg::circuits::make_benchmark_scaled(name, 0.3);
+        const FlowResult reference = run_flow(design, model, parity_flow());
+
+        for (const std::size_t workers : {1UL, 2UL, 4UL}) {
+            SCOPED_TRACE(name + " intra_workers=" + std::to_string(workers));
+            FlowConfig cfg = parity_flow();
+            cfg.intra_workers = workers;
+            expect_bit_identical(run_flow(design, model, cfg), reference);
+        }
+    }
+}
+
+TEST(IntraParallelParity, IteratedFlowIdenticalAcrossIntraWorkerCounts) {
+    const BoolGebraModel model{parity_model_config()};
+    for (const auto& name : bg::circuits::benchmark_names()) {
+        const auto design = bg::circuits::make_benchmark_scaled(name, 0.3);
+        const IteratedFlowResult reference =
+            run_iterated_flow(design, model, parity_flow(), 2);
+
+        for (const std::size_t workers : {1UL, 2UL, 4UL}) {
+            SCOPED_TRACE(name + " intra_workers=" + std::to_string(workers));
+            FlowConfig cfg = parity_flow();
+            cfg.intra_workers = workers;
+            const auto got = run_iterated_flow(design, model, cfg, 2);
+            EXPECT_EQ(got.original_size, reference.original_size);
+            EXPECT_EQ(got.final_size, reference.final_size);
+            EXPECT_EQ(got.final_depth, reference.final_depth);
+            EXPECT_EQ(got.per_round_reduction,
+                      reference.per_round_reduction);
+            EXPECT_EQ(got.final_ratio, reference.final_ratio);
+        }
+    }
+}
+
+TEST(IntraParallelParity, DesignFlowIdenticalWithSharedPool) {
+    // The FlowEngine path: intra-parallel rounds run nested on the same
+    // pool that fans jobs out across designs (nesting-safe for_each) —
+    // still pinned to the sequential reference.
+    const BoolGebraModel model{parity_model_config()};
+    const DesignJob job{"b12",
+                        bg::circuits::make_benchmark_scaled("b12", 0.3)};
+    const auto reference =
+        run_design_flow(job, model, parity_flow(), /*rounds=*/2, nullptr);
+
+    bg::ThreadPool pool(4);
+    FlowConfig cfg = parity_flow();
+    cfg.intra_workers = 4;
+    const auto got = run_design_flow(job, model, cfg, /*rounds=*/2, &pool);
+    EXPECT_EQ(got.iterated.final_size, reference.iterated.final_size);
+    EXPECT_EQ(got.iterated.per_round_reduction,
+              reference.iterated.per_round_reduction);
+    EXPECT_EQ(got.iterated.final_ratio, reference.iterated.final_ratio);
+    expect_bit_identical(got.flow, reference.flow);
+}
+
+}  // namespace

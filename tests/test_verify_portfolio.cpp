@@ -428,6 +428,172 @@ TEST(PortfolioCecTest, RefutedCacheKeepsCounterexample) {
 }
 
 // ---------------------------------------------------------------------
+// Counterexample-guided simulation (cross-job cex pool)
+
+TEST(SimCec, SeedPatternsFlipVerdictBeforeRandomBudget) {
+    // 20-PI needle: only the all-ones assignment distinguishes the pair,
+    // which a small random budget essentially never finds.  Seeding that
+    // assignment must flip the verdict before any random word is spent;
+    // wrong-width seeds must be skipped, not simulated.
+    Aig g;
+    g.add_po(g.and_reduce(g.add_pis(20)));
+    Aig h;
+    h.add_pis(20);
+    h.add_po(lit_false);
+
+    CecOptions opts;
+    opts.exhaustive_pi_limit = 0;  // force the sampling path
+    opts.random_words = 2;
+    const auto blind = check_equivalence_full(g, h, opts);
+    EXPECT_EQ(blind.verdict, CecVerdict::ProbablyEquivalent);
+    EXPECT_EQ(blind.words_simulated, 2u);
+
+    const std::vector<std::vector<bool>> seeds = {
+        std::vector<bool>(19, true),   // wrong width: skipped
+        std::vector<bool>(20, false),  // agreeing assignment
+        std::vector<bool>(20, true),   // the needle
+    };
+    opts.seed_patterns = &seeds;
+    const auto seeded = check_equivalence_full(g, h, opts);
+    ASSERT_EQ(seeded.verdict, CecVerdict::NotEquivalent);
+    EXPECT_EQ(seeded.counterexample, std::vector<bool>(20, true));
+    // One packed seed word refuted the pair; the random budget was never
+    // touched.
+    EXPECT_EQ(seeded.words_simulated, 1u);
+}
+
+TEST(SimCec, SeedPatternsLeaveExhaustivePathAlone) {
+    // Below the exhaustive bound the check is already exact; seeds must
+    // not perturb it (or its zero word accounting).
+    Aig g;
+    g.add_po(g.and_reduce(g.add_pis(4)));
+    Aig h;
+    h.add_pis(4);
+    h.add_po(lit_false);
+    const std::vector<std::vector<bool>> seeds = {
+        std::vector<bool>(4, false)};
+    CecOptions opts;
+    opts.seed_patterns = &seeds;
+    const auto res = check_equivalence_full(g, h, opts);
+    EXPECT_EQ(res.verdict, CecVerdict::NotEquivalent);
+    EXPECT_EQ(res.counterexample, std::vector<bool>(4, true));
+    EXPECT_EQ(res.words_simulated, 0u);
+}
+
+TEST(PortfolioCecTest, PooledCounterexampleFlipsLaterSimVerdict) {
+    // Job 1: a 20-PI needle pair whose refutation needs a solver-grade
+    // engine (the sim engine is starved to one random word) — the witness
+    // lands in the cross-job pool.  Job 2: a structurally different pair
+    // computing the same functions, so its fingerprints miss the verdict
+    // cache; the sequential portfolio runs simulation first, which now
+    // refutes immediately from the pooled seed — cached cex flips the
+    // later sim verdict from Unknown to NotEquivalent.
+    Aig g1;
+    g1.add_po(g1.and_reduce(g1.add_pis(20)));
+    Aig h1;
+    h1.add_pis(20);
+    h1.add_po(lit_false);
+
+    PortfolioOptions opts;
+    opts.sim.exhaustive_pi_limit = 0;
+    opts.sim.random_words = 1;
+    PortfolioCec prover(opts);  // no pool: engines run sim -> BDD -> SAT
+
+    const auto first = prover.check(g1, h1);
+    ASSERT_EQ(first.verdict, CecVerdict::NotEquivalent);
+    EXPECT_NE(first.engine, Engine::Simulation)
+        << "starved simulation must not find the needle on its own";
+    const auto pooled = prover.seed_patterns(20);
+    ASSERT_EQ(pooled.size(), 1u);
+    EXPECT_EQ(pooled[0], std::vector<bool>(20, true));
+
+    // Same functions, different structure: the AND chain folds over the
+    // reversed PI list, so every internal node (and both fingerprints as
+    // a pair) differs from job 1.
+    Aig g2;
+    {
+        const auto pis = g2.add_pis(20);
+        Lit acc = pis[19];
+        for (int i = 18; i >= 0; --i) {
+            acc = g2.and_(acc, pis[static_cast<std::size_t>(i)]);
+        }
+        g2.add_po(acc);
+    }
+    Aig h2;
+    h2.add_pis(20);
+    h2.add_po(lit_false);
+    ASSERT_NE(structural_fingerprint(g2), structural_fingerprint(g1));
+
+    const auto second = prover.check(g2, h2);
+    EXPECT_FALSE(second.from_cache);
+    ASSERT_EQ(second.verdict, CecVerdict::NotEquivalent);
+    EXPECT_EQ(second.engine, Engine::Simulation)
+        << "the pooled seed must refute before BDD/SAT even run";
+    EXPECT_TRUE(cex_distinguishes(g2, h2, second.counterexample));
+
+    // The recurring witness deduplicates instead of growing the pool.
+    EXPECT_EQ(prover.seed_patterns(20).size(), 1u);
+
+    // Cache-served refutations keep feeding the pool path (no growth
+    // here either — same witness again).
+    const auto replay = prover.check(g1, h1);
+    EXPECT_TRUE(replay.from_cache);
+    EXPECT_EQ(prover.seed_patterns(20).size(), 1u);
+}
+
+TEST(PortfolioCecTest, CexPoolCapacityZeroDisablesPooling) {
+    Aig g;
+    g.add_po(g.and_reduce(g.add_pis(20)));
+    Aig h;
+    h.add_pis(20);
+    h.add_po(lit_false);
+    PortfolioOptions opts;
+    opts.cex_pool_capacity = 0;
+    PortfolioCec prover(opts);
+    const auto report = prover.check(g, h);
+    ASSERT_EQ(report.verdict, CecVerdict::NotEquivalent);
+    EXPECT_TRUE(prover.seed_patterns(20).empty());
+}
+
+TEST(PortfolioCecTest, CexPoolEvictsFifoAtCapacity) {
+    // Distinct witnesses from distinct refuted pairs; a capacity of 2
+    // keeps only the most recent two (oldest evicted first).
+    PortfolioOptions opts;
+    opts.cex_pool_capacity = 2;
+    opts.use_cache = false;  // every check runs the engines
+    PortfolioCec prover(opts);
+
+    // Pair k differs from const-false exactly on the assignment where
+    // PIs k..19 are true and 0..k-1 false: each witness is unique.
+    for (const std::size_t k : {0UL, 1UL, 2UL}) {
+        Aig g;
+        {
+            const auto pis = g.add_pis(20);
+            Lit acc = lit_true;
+            for (std::size_t i = k; i < 20; ++i) {
+                acc = g.and_(acc, pis[i]);
+            }
+            for (std::size_t i = 0; i < k; ++i) {
+                acc = g.and_(acc, lit_not(pis[i]));
+            }
+            g.add_po(acc);
+        }
+        Aig h;
+        h.add_pis(20);
+        h.add_po(lit_false);
+        ASSERT_EQ(prover.check(g, h).verdict, CecVerdict::NotEquivalent);
+    }
+    const auto pooled = prover.seed_patterns(20);
+    ASSERT_EQ(pooled.size(), 2u);
+    // The k=0 witness (all ones) was evicted; k=1 and k=2 remain, oldest
+    // first.
+    EXPECT_NE(pooled[0], std::vector<bool>(20, true));
+    for (const auto& w : pooled) {
+        EXPECT_EQ(w.size(), 20u);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Racing on the shared pool (TSan coverage)
 
 TEST(PortfolioCecTest, PooledRaceMatchesSequential) {
