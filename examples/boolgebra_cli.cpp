@@ -3,7 +3,9 @@
 /// downstream user would actually drive in scripts.
 ///
 /// Commands:
-///   stats    <design>                          print size / depth / IO
+///   stats    <design> [--check]                print size / depth / IO;
+///            --check also runs the strict structural integrity audit
+///            (FanoutArena accounting, strash consistency, ref counts)
 ///   opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out.{aag,aig,bench}]
 ///   sample   <design> [-n N] [--guided] [--seed S] [--save-best best.csv]
 ///   train    <design> [-n N] [--epochs E] [--seed S]
@@ -82,7 +84,7 @@ namespace {
 int usage() {
     std::puts(
         "usage: boolgebra_cli <command> [args]\n"
-        "  stats    <design>\n"
+        "  stats    <design> [--check]\n"
         "  opt      <design> --ops rw,rs,rf[,b] [--rounds N] [-o out]\n"
         "  sample   <design> [-n N] [--guided] [--seed S] [--save-best f]\n"
         "  train    <design> [-n N] [--epochs E] [--seed S]\n"
@@ -143,11 +145,16 @@ bool flag_present(std::vector<std::string>& args, const char* name) {
     return false;
 }
 
-int cmd_stats(Aig g) {
+int cmd_stats(Aig g, bool check) {
     std::printf("pis   : %zu\n", g.num_pis());
     std::printf("pos   : %zu\n", g.num_pos());
     std::printf("ands  : %zu\n", g.num_ands());
     std::printf("depth : %u\n", g.depth());
+    if (check) {
+        g.check_integrity(Aig::CheckLevel::Strict);
+        std::printf("check : strict integrity OK (fanout arena, strash, "
+                    "ref counts)\n");
+    }
     return 0;
 }
 
@@ -736,8 +743,15 @@ int main(int argc, char** argv) {
             }
             return 0;
         }
-        if (cmd == "stats" && args.size() == 1) {
-            return cmd_stats(load_design(args[0]));
+        if (cmd == "stats" && !args.empty() && args.size() <= 2) {
+            const bool check =
+                args.size() == 2 && args[1] == "--check";
+            if (args.size() == 2 && !check) {
+                std::fprintf(stderr, "unknown stats flag: %s\n",
+                             args[1].c_str());
+                return 2;
+            }
+            return cmd_stats(load_design(args[0]), check);
         }
         if (cmd == "opt" && !args.empty()) {
             Aig g = load_design(args[0]);

@@ -50,6 +50,28 @@ void FanoutArena::remove(Var v, Var f) {
     --live_;
 }
 
+void FanoutArena::validate() const {
+    std::size_t live = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> blocks;
+    for (const Head& h : heads_) {
+        BG_ASSERT(h.size <= h.cap, "fanout block size exceeds its capacity");
+        BG_ASSERT(static_cast<std::size_t>(h.off) + h.cap <= arena_.size(),
+                  "fanout block extends past the arena");
+        live += h.size;
+        if (h.cap > 0) {
+            blocks.emplace_back(h.off, h.cap);
+        }
+    }
+    BG_ASSERT(live == live_, "fanout live-slot accounting out of sync");
+    // Allocated blocks (cap > 0) must never overlap; leaked regions from
+    // tail-relocation are unowned and harmless.
+    std::sort(blocks.begin(), blocks.end());
+    for (std::size_t i = 0; i + 1 < blocks.size(); ++i) {
+        BG_ASSERT(blocks[i].first + blocks[i].second <= blocks[i + 1].first,
+                  "fanout arena blocks overlap");
+    }
+}
+
 void FanoutArena::repack() {
     std::vector<Var> packed;
     packed.reserve(live_ + live_ / 2 + heads_.size());
@@ -253,10 +275,17 @@ Lit Aig::lookup_and(Lit a, Lit b) const {
     if (a > b) {
         std::swap(a, b);
     }
+    // A strash probe's result is covered by the fanout class of both
+    // operand vars (any key change over (a, b) journals a fanout-edge
+    // change on at least one of them) plus, on a hit, the hit node's
+    // structure — mirror exactly that into the audit shadow.
+    BG_AUDIT_READ(lit_var(a), Read::Fanout);
+    BG_AUDIT_READ(lit_var(b), Read::Fanout);
     const Var hit = strash_.find(strash_key(a, b));
     if (hit == null_var) {
         return null_lit;
     }
+    BG_AUDIT_READ(hit, Read::Struct);
     return make_lit(hit);
 }
 
@@ -566,7 +595,54 @@ Aig Aig::compact(std::vector<Lit>* old_to_new) const {
     return out;
 }
 
-void Aig::check_integrity() const {
+void Aig::check_integrity(CheckLevel level) const {
+    if (level == CheckLevel::Strict) {
+        // Arena/strash audits run first so their targeted diagnostics win
+        // over the secondary symptoms (e.g. a duplicated fanout entry also
+        // breaks the topological-order walk below).
+        fanouts_.validate();
+        BG_ASSERT(fanouts_.live_slots() == 2 * num_ands_,
+                  "fanout arena live slots != 2 * live AND count");
+        // Every per-node fanout list must equal (as a multiset — removal
+        // is swap-with-back, so order is historical) the fanouts
+        // recomputed from fanins.
+        std::vector<std::vector<Var>> expected_fanouts(nodes_.size());
+        for (Var v = 0; v < nodes_.size(); ++v) {
+            const auto& n = nodes_[v];
+            if (n.dead() || !n.is_and()) {
+                continue;
+            }
+            expected_fanouts[n.fanin0.index()].push_back(v);
+            expected_fanouts[n.fanin1.index()].push_back(v);
+        }
+        for (Var v = 0; v < nodes_.size(); ++v) {
+            const auto list = fanouts_.list(v);
+            std::vector<Var> got(list.begin(), list.end());
+            std::sort(got.begin(), got.end());
+            std::sort(expected_fanouts[v].begin(), expected_fanouts[v].end());
+            BG_ASSERT(got == expected_fanouts[v],
+                      "fanout list diverges from recomputed fanouts at var " +
+                          std::to_string(v));
+        }
+        // Walk the whole strash table: every live entry must name a live
+        // AND whose recomputed key matches — no stale or tombstoned hit
+        // is reachable.
+        std::size_t strash_entries = 0;
+        strash_.for_each([&](std::uint64_t key, Var v) {
+            ++strash_entries;
+            BG_ASSERT(v < nodes_.size(), "strash entry names an unknown var");
+            const auto& n = nodes_[v];
+            BG_ASSERT(!n.dead() && n.is_and(),
+                      "strash entry names a dead or non-AND node: var " +
+                          std::to_string(v));
+            BG_ASSERT(strash_key(n.fanin0.lit(), n.fanin1.lit()) == key,
+                      "strash entry key diverges from its node's fanins: "
+                      "var " +
+                          std::to_string(v));
+        });
+        BG_ASSERT(strash_entries == num_ands_,
+                  "strash live-entry walk count != live AND count");
+    }
     std::vector<std::uint32_t> expected_refs(nodes_.size(), 0);
     std::vector<std::uint32_t> expected_po_refs(nodes_.size(), 0);
     std::size_t live_ands = 0;
@@ -632,6 +708,27 @@ void Aig::check_integrity() const {
     BG_ASSERT(topo_all().size() == live_total,
               "graph contains a combinational cycle");
 }
+
+#ifdef BOOLGEBRA_AUDIT
+void Aig::audit_corrupt_for_test(Corrupt kind, Var v) {
+    switch (kind) {
+        case Corrupt::RefCount:
+            ++nodes_[v].ref;  // unjournaled on purpose
+            break;
+        case Corrupt::FanoutDup:
+            BG_EXPECTS(!fanouts_.list(v).empty(),
+                       "FanoutDup needs a node with fanouts");
+            fanouts_.push_back(v, fanouts_.front(v));
+            break;
+        case Corrupt::StrashDrop:
+            BG_EXPECTS(nodes_[v].is_and() && !nodes_[v].dead(),
+                       "StrashDrop needs a live AND node");
+            strash_.erase(
+                strash_key(nodes_[v].fanin0.lit(), nodes_[v].fanin1.lit()));
+            break;
+    }
+}
+#endif
 
 std::string Aig::to_string() const {
     std::ostringstream os;

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "aig/audit.hpp"
 #include "aig/footprint.hpp"
 #include "util/contracts.hpp"
 
@@ -147,6 +148,12 @@ public:
         arena_.reserve(edges);
     }
 
+    /// Structural audit of the arena itself: every block lies inside the
+    /// arena, sizes fit capacities, live blocks never overlap, and the
+    /// live-slot accounting matches the per-block sizes.  Throws
+    /// ContractViolation on the first inconsistency.
+    void validate() const;
+
     std::size_t arena_slots() const { return arena_.size(); }
     std::size_t live_slots() const { return live_; }
     std::size_t bytes() const {
@@ -183,6 +190,16 @@ public:
     void insert(std::uint64_t key, Var v);
     void erase(std::uint64_t key);
     std::size_t size() const { return size_; }
+    /// Visit every live (key, var) entry — strict integrity walks the
+    /// table to prove each entry names a live AND with that exact key.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] != k_empty && keys_[i] != k_tombstone) {
+                fn(keys_[i], vals_[i]);
+            }
+        }
+    }
     void reserve(std::size_t n);
     std::size_t bytes() const {
         return keys_.capacity() * sizeof(std::uint64_t) +
@@ -272,45 +289,94 @@ public:
     /// Total slots including PIs, constant and tombstones.
     std::size_t num_slots() const { return nodes_.size(); }
 
+    // Accessors that read a *mutable* aspect of a node carry a
+    // BG_AUDIT_READ hook: in audit builds (-DBOOLGEBRA_AUDIT=ON) they
+    // report the actual (var, Read-class) to the thread-local shadow
+    // recorder (audit.hpp); in normal builds the hook expands to nothing
+    // and the bodies are the exact pre-audit code.  is_pi / pis / pi are
+    // immutable per-var facts and deliberately unhooked.
     bool is_const0(Var v) const { return v == 0; }
     bool is_pi(Var v) const { return nodes_[v].is_pi(); }
-    bool is_and(Var v) const { return nodes_[v].is_and(); }
-    bool is_dead(Var v) const { return nodes_[v].dead(); }
-    std::uint32_t ref_count(Var v) const { return nodes_[v].ref; }
+    bool is_and(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
+        return nodes_[v].is_and();
+    }
+    bool is_dead(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
+        return nodes_[v].dead();
+    }
+    std::uint32_t ref_count(Var v) const {
+        BG_AUDIT_READ(v, Read::Ref);
+        return nodes_[v].ref;
+    }
 
     /// Fanins as packed references — the primary accessors of the new
     /// storage API (index() + complemented() replace the lit_var /
     /// lit_is_compl dance on the traversal hot paths).
-    NodeRef fanin0_ref(Var v) const { return nodes_[v].fanin0; }
-    NodeRef fanin1_ref(Var v) const { return nodes_[v].fanin1; }
+    NodeRef fanin0_ref(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
+        return nodes_[v].fanin0;
+    }
+    NodeRef fanin1_ref(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
+        return nodes_[v].fanin1;
+    }
     std::array<NodeRef, 2> fanin_refs(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
         return {nodes_[v].fanin0, nodes_[v].fanin1};
     }
 
     /// Fanins in the stable public literal encoding.
-    Lit fanin0(Var v) const { return nodes_[v].fanin0.lit(); }
-    Lit fanin1(Var v) const { return nodes_[v].fanin1.lit(); }
+    Lit fanin0(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
+        return nodes_[v].fanin0.lit();
+    }
+    Lit fanin1(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
+        return nodes_[v].fanin1.lit();
+    }
 
     std::span<const Var> pis() const { return pis_; }
-    std::span<const Lit> pos() const { return pos_; }
-    Lit po(std::size_t i) const { return pos_[i]; }
+    std::span<const Lit> pos() const {
+        BG_AUDIT_READ_PO();
+        return pos_;
+    }
+    Lit po(std::size_t i) const {
+        BG_AUDIT_READ_PO();
+        return pos_[i];
+    }
     NodeRef po_ref(std::size_t i) const {
+        BG_AUDIT_READ_PO();
         return NodeRef::from_lit(pos_[i]);
     }
     Var pi(std::size_t i) const { return pis_[i]; }
 
     /// Live AND-node fanouts of v (PO references are not listed here).
     /// The span is invalidated by any mutating operation.
-    std::span<const Var> fanouts(Var v) const { return fanouts_.list(v); }
+    std::span<const Var> fanouts(Var v) const {
+        BG_AUDIT_READ(v, Read::Fanout);
+        return fanouts_.list(v);
+    }
     /// Number of POs driven by v (either phase) — O(1), maintained
     /// incrementally by add_po / replace / compact.
-    std::size_t po_refs(Var v) const { return po_ref_counts_[v]; }
+    std::size_t po_refs(Var v) const {
+        BG_AUDIT_READ(v, Read::Ref);
+        return po_ref_counts_[v];
+    }
 
     // -- levels / depth ----------------------------------------------------
 
     /// Recompute levels of all live nodes (PI level 0, AND = 1 + max fanin).
     void update_levels();
-    std::uint32_t level(Var v) const { return nodes_[v].level(); }
+    /// The cached level.  Audited as a Struct read: levels are refreshed
+    /// only by update_levels(), which never runs during a parallel pass,
+    /// so during speculation a var's level is a function of the frozen
+    /// structure reachable from it — and every level() consumer reads it
+    /// for vars whose structure it has already declared.
+    std::uint32_t level(Var v) const {
+        BG_AUDIT_READ(v, Read::Struct);
+        return nodes_[v].level();
+    }
     /// Longest PI-to-PO path in AND nodes; calls update_levels().
     std::uint32_t depth();
     /// Same metric without touching the cached levels — usable on shared
@@ -345,10 +411,35 @@ public:
 
     // -- diagnostics -------------------------------------------------------
 
-    /// Full structural audit: ref counts, fanout symmetry, strash
-    /// consistency, PO ref counts, acyclicity, no references to dead
-    /// nodes.  Throws ContractViolation on the first inconsistency.
-    void check_integrity() const;
+    /// How deep check_integrity digs.
+    enum class CheckLevel {
+        /// Ref counts, fanout symmetry, strash forward-consistency, PO
+        /// ref counts, acyclicity, no references to dead nodes.
+        Basic,
+        /// Everything Basic checks, plus: FanoutArena block accounting
+        /// (bounds, overlap, live-slot totals) with every per-node list
+        /// compared against the fanouts recomputed from fanins; a full
+        /// StrashMap walk proving each live entry names a live AND whose
+        /// recomputed key matches (no stale or tombstoned hits reachable);
+        /// and po_ref_counts_ re-derived from a full PO scan.
+        Strict,
+    };
+
+    /// Full structural audit; throws ContractViolation with a diagnostic
+    /// on the first inconsistency found.
+    void check_integrity(CheckLevel level = CheckLevel::Basic) const;
+
+#ifdef BOOLGEBRA_AUDIT
+    /// Deliberate corruption for negative-path auditor tests (audit
+    /// builds only): mutate internal state *without* journaling so the
+    /// write-completeness audit / strict integrity must flag it.
+    enum class Corrupt {
+        RefCount,    ///< bump a ref count (basic integrity catches)
+        FanoutDup,   ///< duplicate a fanout entry (only strict catches)
+        StrashDrop,  ///< erase a live AND's strash entry
+    };
+    void audit_corrupt_for_test(Corrupt kind, Var v);
+#endif
 
     // -- mutation journal --------------------------------------------------
 

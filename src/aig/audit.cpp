@@ -1,0 +1,7 @@
+#include "aig/audit.hpp"
+
+namespace bg::aig::audit::detail {
+
+thread_local ShadowSet* active_shadow = nullptr;
+
+}  // namespace bg::aig::audit::detail

@@ -16,10 +16,14 @@ namespace bg::aig {
 
 /// A reusable visited set over dense u32 keys.  `clear()` bumps the epoch
 /// instead of touching the array; a stamp matches only when it equals the
-/// current epoch.  On the (once per ~4 billion clears) epoch wrap the
-/// array is zero-filled so stale stamps from the previous cycle can never
-/// read as visited.
-class EpochMarks {
+/// current epoch.  On epoch wraparound (once per ~4 billion clears with
+/// the default 32-bit epoch) the array is zero-filled and the epoch
+/// restarts at 1, so stale stamps from the previous cycle can never read
+/// as visited.  The epoch type is a template parameter so the wrap path
+/// is unit-testable with a small type (test_visited.cpp pins it with
+/// std::uint8_t); production call-sites use the `EpochMarks` alias.
+template <typename Epoch = std::uint32_t>
+class BasicEpochMarks {
 public:
     /// Start a fresh walk over a key space of `n` keys.
     void reset(std::size_t n) {
@@ -45,16 +49,23 @@ public:
         return true;
     }
 
+    /// The current epoch value — exposed so the wraparound tests can
+    /// observe where in the cycle the instance is.
+    Epoch epoch() const { return epoch_; }
+
 private:
-    std::vector<std::uint32_t> stamps_;
-    std::uint32_t epoch_ = 0;
+    std::vector<Epoch> stamps_;
+    Epoch epoch_ = 0;
 };
+
+using EpochMarks = BasicEpochMarks<>;
 
 /// An epoch-stamped map over dense u32 keys: the hash-map replacement for
 /// per-walk `unordered_map<Var, T>` scratch (e.g. MFFC reference
 /// deficits).  Values from earlier walks are treated as absent; `slot()`
-/// lazily re-initializes a stale slot to `init` on first touch.
-template <typename T>
+/// lazily re-initializes a stale slot to `init` on first touch.  Same
+/// wraparound contract and epoch-type parameter as BasicEpochMarks.
+template <typename T, typename Epoch = std::uint32_t>
 class EpochMap {
 public:
     void reset(std::size_t n, T init = T{}) {
@@ -83,10 +94,13 @@ public:
     /// Read-only access; `key` must be contained this walk.
     const T& at(std::uint32_t key) const { return values_[key]; }
 
+    /// The current epoch value (see BasicEpochMarks::epoch).
+    Epoch epoch() const { return epoch_; }
+
 private:
     std::vector<T> values_;
-    std::vector<std::uint32_t> stamps_;
-    std::uint32_t epoch_ = 0;
+    std::vector<Epoch> stamps_;
+    Epoch epoch_ = 0;
     T init_{};
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
 
 #include "aig/footprint.hpp"
 #include "util/contracts.hpp"
@@ -21,10 +20,13 @@ std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
 
     aig::fp_touch(root, aig::Read::Struct);
     std::vector<Cut> out;
-    std::set<std::vector<Var>> seen;
+    // Seen leaf-sets: the expansion budget keeps this small (a few
+    // hundred short sorted vectors), so a flat vector with linear lookup
+    // replaces the old node-based std::set on this per-candidate path.
+    std::vector<std::vector<Var>> seen;
     std::deque<std::vector<Var>> frontier;
     frontier.push_back({root});
-    seen.insert({root});
+    seen.push_back({root});
 
     // Bound the total expansion work independently of max_cuts.
     std::size_t budget = std::max<std::size_t>(max_cuts * 8, 256);
@@ -58,9 +60,10 @@ std::vector<Cut> enumerate_cuts(const Aig& g, Var root, unsigned k,
                 continue;
             }
             std::sort(next.begin(), next.end());
-            if (!seen.insert(next).second) {
+            if (std::find(seen.begin(), seen.end(), next) != seen.end()) {
                 continue;
             }
+            seen.push_back(next);
             frontier.push_back(next);
             // The trivial cut {root} is skipped; everything else is real.
             if (!(next.size() == 1 && next[0] == root)) {
@@ -139,10 +142,12 @@ std::vector<Var> reconv_cut(const Aig& g, Var root, unsigned max_leaves) {
     return leaves;
 }
 
+// bg-lint: allow(container): window-sized value-returned map (see header)
 std::unordered_map<Var, TruthTable> cone_functions(
     const Aig& g, Var root, std::span<const Var> leaves) {
     BG_EXPECTS(leaves.size() <= 16, "cone function capped at 16 leaves");
     const unsigned nv = static_cast<unsigned>(leaves.size());
+    // bg-lint: allow(container): window-sized value-returned map
     std::unordered_map<Var, TruthTable> fn;
     fn.reserve(leaves.size() * 4);
     for (unsigned i = 0; i < nv; ++i) {

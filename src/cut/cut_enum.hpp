@@ -5,7 +5,7 @@
 /// consumes 4-feasible cuts; refactoring and resubstitution consume one
 /// reconvergence-driven cut per node (ABC's Abc_NodeFindCut heuristic).
 
-#include <unordered_map>
+#include <unordered_map>  // bg-lint: allow(container): cone_functions API
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -40,7 +40,10 @@ tt::TruthTable cone_function(const aig::Aig& g, aig::Var root,
                              std::span<const aig::Var> leaves);
 
 /// Truth tables of every node in the cone of `root` bounded by `leaves`
-/// (inclusive of leaves and root), over the leaf variables.
+/// (inclusive of leaves and root), over the leaf variables.  The map is
+/// window-sized (tens of entries) and returned by value; a flat
+/// epoch-stamped alternative would need num_slots-sized scratch per walk.
+// bg-lint: allow(container): window-sized value-returned map
 std::unordered_map<aig::Var, tt::TruthTable> cone_functions(
     const aig::Aig& g, aig::Var root, std::span<const aig::Var> leaves);
 

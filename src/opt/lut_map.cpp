@@ -1,7 +1,6 @@
 #include "opt/lut_map.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "cut/cut_enum.hpp"
 #include "util/contracts.hpp"
@@ -99,15 +98,19 @@ LutMapping map_to_luts(const Aig& g, const LutMapParams& params) {
                       return a.leaves.size() < b.leaves.size();
                   });
         auto& nc = node_cuts[v];
-        std::unordered_set<std::size_t> seen_hashes;
+        // At most (max_cuts + 1)^2 candidates per node: a flat vector with
+        // linear lookup dedupes cheaper than a hash set here.
+        std::vector<std::size_t> seen_hashes;
         for (const auto& c : candidates) {
             std::size_t h = 0;
             for (const Var leaf : c.leaves) {
                 h = h * 1000003 + leaf;
             }
-            if (!seen_hashes.insert(h).second) {
+            if (std::find(seen_hashes.begin(), seen_hashes.end(), h) !=
+                seen_hashes.end()) {
                 continue;
             }
+            seen_hashes.push_back(h);
             nc.cuts.push_back(c.leaves);
             if (nc.cuts.size() >= params.max_cuts) {
                 break;

@@ -9,6 +9,14 @@
 #include "util/csv.hpp"
 #include "util/parallel.hpp"
 
+#ifdef BOOLGEBRA_AUDIT
+// Audit builds cross-check every speculation's shadow read-set against
+// its declared footprint and every commit's state diff against the
+// journal (docs/static-analysis.md).  Normal builds compile none of it.
+#include "aig/audit.hpp"
+#include "analysis/soundness.hpp"
+#endif
+
 namespace bg::opt {
 
 using aig::Aig;
@@ -81,7 +89,14 @@ OrchestrationResult orchestrate_parallel(Aig& g,
             Aig& g;
             ~LogGuard() { g.set_change_log(nullptr); }
         } log_guard{g};
+#ifdef BOOLGEBRA_AUDIT
+        analysis::WriteAudit write_audit;
+        write_audit.capture(g);
+#endif
         OrchestrationResult res = orchestrate(g, decisions, params, objective);
+#ifdef BOOLGEBRA_AUDIT
+        write_audit.verify(g, journal, "orchestrate sequential-fallback pass");
+#endif
         for (Var& e : journal) {
             e = aig::fp_entry_var(e);  // touched is var-granular
         }
@@ -171,6 +186,9 @@ OrchestrationResult orchestrate_parallel(Aig& g,
     // 4-worker pool, with no utilization win).
     const std::size_t wave_cap =
         std::min(intra.spec_batch, 16 * intra.pool->size());
+#ifdef BOOLGEBRA_AUDIT
+    analysis::WriteAudit write_audit;
+#endif
     std::size_t first = 0;
     std::size_t region_idx = 0;  // region containing candidate `first`
     std::vector<std::pair<std::size_t, std::size_t>> slices;
@@ -214,8 +232,17 @@ OrchestrationResult orchestrate_parallel(Aig& g,
                 s.fp.cap = intra.footprint_cap;
                 s.fp.clear();
                 s.epoch = epoch;
+#ifdef BOOLGEBRA_AUDIT
+                thread_local aig::audit::ShadowSet shadow;
+                shadow.clear();
+                const aig::audit::ShadowScope audit_scope(shadow);
+#endif
                 const aig::FootprintScope scope(s.fp);
                 s.check = check_op(g, v, decisions[v], params);
+#ifdef BOOLGEBRA_AUDIT
+                analysis::verify_read_soundness(s.fp, shadow, v,
+                                                to_string(decisions[v]));
+#endif
             }
         });
         res.num_speculated += last - first;
@@ -254,9 +281,19 @@ OrchestrationResult orchestrate_parallel(Aig& g,
                         sj.fp.cap = intra.footprint_cap;
                         sj.fp.clear();
                         sj.epoch = epoch_now;
+#ifdef BOOLGEBRA_AUDIT
+                        thread_local aig::audit::ShadowSet shadow;
+                        shadow.clear();
+                        const aig::audit::ShadowScope audit_scope(shadow);
+#endif
                         const aig::FootprintScope scope(sj.fp);
                         sj.check = check_op(g, roots[j], decisions[roots[j]],
                                             params);
+#ifdef BOOLGEBRA_AUDIT
+                        analysis::verify_read_soundness(
+                            sj.fp, shadow, roots[j],
+                            to_string(decisions[roots[j]]));
+#endif
                     });
                     res.num_speculated += stale.size();
                 } else {
@@ -275,7 +312,15 @@ OrchestrationResult orchestrate_parallel(Aig& g,
                 ++res.num_rejected;
                 continue;
             }
+#ifdef BOOLGEBRA_AUDIT
+            write_audit.capture(g);
+#endif
             apply_candidate(g, v, check.cand);
+#ifdef BOOLGEBRA_AUDIT
+            write_audit.verify(g, journal,
+                               "orchestrate_parallel commit of var " +
+                                   std::to_string(v));
+#endif
             res.applied[v] = decisions[v];
             ++res.num_applied;
             ++commits_done;

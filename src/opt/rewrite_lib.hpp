@@ -13,7 +13,7 @@
 /// bug cannot silently corrupt a network.
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_map>  // bg-lint: allow(container): lazy NPN caches
 
 #include "opt/transform.hpp"
 
@@ -50,8 +50,14 @@ public:
 private:
     Structure decompose(std::uint16_t func);
 
+    // Lazily grown, never walked on the hot path (one O(1) probe per
+    // structure_for call); a 64k-slot direct-index array per cache per
+    // thread would trade ~6 MB/thread for nothing measurable.
+    // bg-lint: allow(container): lazy NPN caches, O(1) probes only
     std::unordered_map<std::uint16_t, Structure> cache_;
+    // bg-lint: allow(container): lazy NPN caches, O(1) probes only
     std::unordered_map<std::uint16_t, Structure> canon_cache_;
+    // bg-lint: allow(container): lazy NPN caches, O(1) probes only
     std::unordered_map<std::uint16_t, Structure> decomp_cache_;
 };
 

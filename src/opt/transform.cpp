@@ -1,8 +1,6 @@
 #include "opt/transform.hpp"
 
-#include <map>
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 #include <utility>
 
 #include "aig/footprint.hpp"
@@ -154,7 +152,11 @@ int count_added_nodes(const Aig& g, Var root, const Candidate& cand,
     }
     int added = 0;
     std::uint32_t next_virtual = 2;  // virtual var ids start at 1
-    std::map<std::pair<std::uint64_t, std::uint64_t>, ExtLit> virtual_strash;
+    // Virtual strash over recipe steps: recipes are tiny (cut leaves plus
+    // factored steps), so a flat vector with a linear probe beats any
+    // node-based map on this hot path.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> virtual_keys;
+    std::vector<ExtLit> virtual_vals;
 
     std::vector<ExtLit> value(1 + cand.operands.size() + cand.steps.size());
     value[0] = ExtLit{aig::lit_false, 0};
@@ -224,15 +226,18 @@ int count_added_nodes(const Aig& g, Var root, const Candidate& cand,
             std::swap(a, b);
         }
         const auto key = std::make_pair(a.key(), b.key());
-        const auto it = virtual_strash.find(key);
-        if (it != virtual_strash.end()) {
-            slot = it->second;
+        const auto it =
+            std::find(virtual_keys.begin(), virtual_keys.end(), key);
+        if (it != virtual_keys.end()) {
+            slot = virtual_vals[static_cast<std::size_t>(
+                it - virtual_keys.begin())];
             continue;
         }
         ++added;
         slot = ExtLit{aig::null_lit, next_virtual};
         next_virtual += 2;
-        virtual_strash.emplace(key, slot);
+        virtual_keys.push_back(key);
+        virtual_vals.push_back(slot);
     }
 
     const ExtLit out = resolve(cand.out);

@@ -26,7 +26,7 @@ TEST(Aig, EmptyGraph) {
     EXPECT_EQ(g.num_pos(), 0u);
     EXPECT_EQ(g.num_ands(), 0u);
     EXPECT_EQ(g.num_slots(), 1u);  // constant node
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, TrivialAndRules) {
@@ -40,7 +40,7 @@ TEST(Aig, TrivialAndRules) {
     EXPECT_EQ(g.and_(a, a), a);
     EXPECT_EQ(g.and_(a, lit_not(a)), lit_false);
     EXPECT_EQ(g.num_ands(), 0u) << "trivial ANDs must not allocate nodes";
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, StructuralHashingDeduplicates) {
@@ -54,7 +54,7 @@ TEST(Aig, StructuralHashingDeduplicates) {
     const Lit z = g.and_(lit_not(a), b);
     EXPECT_NE(x, z);
     EXPECT_EQ(g.num_ands(), 2u);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, LookupAndDoesNotCreate) {
@@ -84,7 +84,7 @@ TEST(Aig, RefCountsTrackFanouts) {
     g.add_po(z);
     EXPECT_EQ(g.ref_count(lit_var(x)), 2u);
     EXPECT_EQ(g.ref_count(lit_var(c)), 2u);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, XorMuxMajSemantics) {
@@ -95,7 +95,7 @@ TEST(Aig, XorMuxMajSemantics) {
     g.add_po(g.xor_(a, b));
     g.add_po(g.mux_(a, b, c));
     g.add_po(g.maj_(a, b, c));
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
     // Semantics verified via simulation in test_sim_cec; here check sharing:
     EXPECT_GT(g.num_ands(), 0u);
 }
@@ -108,7 +108,7 @@ TEST(Aig, AndOrReduce) {
     EXPECT_EQ(g.and_reduce(std::span<const Lit>{}), lit_true);
     EXPECT_EQ(g.or_reduce(std::span<const Lit>{}), lit_false);
     EXPECT_EQ(g.and_reduce(std::span<const Lit>(pis.data(), 1)), pis[0]);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, TopoOrderRespectsFanins) {
@@ -178,7 +178,7 @@ TEST(Aig, DeleteUnreferencedCone) {
     EXPECT_EQ(g.num_ands(), 0u);
     EXPECT_TRUE(g.is_dead(lit_var(y)));
     EXPECT_TRUE(g.is_dead(lit_var(x)));
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, DeleteStopsAtReferencedNodes) {
@@ -193,7 +193,7 @@ TEST(Aig, DeleteStopsAtReferencedNodes) {
     EXPECT_TRUE(g.is_dead(lit_var(y)));
     EXPECT_FALSE(g.is_dead(lit_var(x)));
     EXPECT_EQ(g.num_ands(), 1u);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, DeadNodeSlotIsReusedNever) {
@@ -204,7 +204,7 @@ TEST(Aig, DeadNodeSlotIsReusedNever) {
     g.delete_unreferenced(lit_var(x));
     const Lit y = g.and_(a, b);  // recreate the same structure
     EXPECT_NE(lit_var(y), lit_var(x)) << "tombstoned slots must not revive";
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, CompactDropsTombstones) {
@@ -224,7 +224,7 @@ TEST(Aig, CompactDropsTombstones) {
     EXPECT_EQ(h.num_pos(), 1u);
     EXPECT_EQ(h.num_slots(), 1 + 3 + 2);
     EXPECT_EQ(map[lit_var(dead)], null_lit);
-    h.check_integrity();
+    h.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Aig, CompactPreservesPolarities) {

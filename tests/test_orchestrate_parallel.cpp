@@ -67,7 +67,7 @@ TEST(OrchestrateParallel, BitIdenticalToSequentialOnRegistryDesigns) {
                                                   intra);
             expect_identical(res, res_ref);
             EXPECT_EQ(structural_fingerprint(g), fp_ref);
-            g.check_integrity();
+            g.check_integrity(Aig::CheckLevel::Strict);
         }
     }
 }

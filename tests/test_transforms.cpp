@@ -43,7 +43,7 @@ TEST(Rewrite, FindsMuxCollapse) {
     EXPECT_EQ(res.gain.size_delta, 3);
     const auto actual = apply_candidate(g, lit_var(f), res.cand);
     EXPECT_EQ(actual.size_delta, 3);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
     EXPECT_EQ(g.num_ands(), 0u);
     EXPECT_EQ(g.po(0), a);
 }
@@ -57,7 +57,7 @@ TEST(Rewrite, CheckIsReadOnly) {
     }
     EXPECT_EQ(g.num_slots(), slots);
     EXPECT_EQ(g.num_ands(), ands_count);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(Rewrite, NoFalseApplicability) {
@@ -86,7 +86,7 @@ TEST(Refactor, FactorsDistributedProduct) {
     EXPECT_GE(res.gain.size_delta, 1);
     Aig before = g;
     apply_candidate(g, lit_var(f), res.cand);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
     EXPECT_EQ(check_equivalence(before, g), CecVerdict::Equivalent);
     EXPECT_LE(g.num_ands(), 2u);
 }
@@ -107,7 +107,7 @@ TEST(Resub, FindsEqualCone) {
     ASSERT_TRUE(res.applicable);
     Aig before = g;
     apply_candidate(g, lit_var(right), res.cand);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
     EXPECT_EQ(check_equivalence(before, g), CecVerdict::Equivalent);
     EXPECT_LT(g.num_ands(), before.num_ands());
 }
@@ -146,7 +146,7 @@ TEST(AllOps, GainEstimatesAreHonest) {
                 }
                 Aig before = g;
                 const auto actual = apply_candidate(g, v, res.cand);
-                g.check_integrity();
+                g.check_integrity(Aig::CheckLevel::Strict);
                 ASSERT_GE(actual.size_delta, res.gain.size_delta)
                     << to_string(op) << " at node " << v << " seed " << seed;
                 ASSERT_EQ(check_equivalence(before, g),
@@ -168,7 +168,7 @@ TEST(AllOps, ChecksAreReadOnlyEverywhere) {
     }
     EXPECT_EQ(g.to_string(), text_before);
     EXPECT_EQ(g.num_slots(), slots);
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
 }
 
 TEST(AllOps, NoneOpNeverApplies) {
@@ -208,7 +208,7 @@ TEST_P(TransformSweep, FullPassPreservesFunction) {
             apply_candidate(g, v, res.cand);
         }
     }
-    g.check_integrity();
+    g.check_integrity(Aig::CheckLevel::Strict);
     EXPECT_EQ(check_equivalence(original, g), CecVerdict::Equivalent)
         << "seed " << seed << " op " << to_string(op);
     EXPECT_LE(g.num_ands(), original.num_ands());

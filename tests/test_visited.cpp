@@ -1,0 +1,114 @@
+/// \file test_visited.cpp
+/// Epoch-stamped traversal scratch, with the wraparound path forced via a
+/// small (uint8_t) epoch type: after the epoch cycles, stale stamps from
+/// a previous cycle must never read as visited.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "aig/visited.hpp"
+
+namespace {
+
+using bg::aig::BasicEpochMarks;
+using bg::aig::EpochMap;
+using bg::aig::EpochMarks;
+
+TEST(EpochMarks, BasicMarkAndClear) {
+    EpochMarks marks;
+    marks.reset(8);
+    EXPECT_FALSE(marks.test(3));
+    EXPECT_TRUE(marks.insert(3));
+    EXPECT_FALSE(marks.insert(3));
+    EXPECT_TRUE(marks.test(3));
+    marks.set(5);
+    EXPECT_TRUE(marks.test(5));
+
+    marks.reset(8);  // O(1) clear
+    EXPECT_FALSE(marks.test(3));
+    EXPECT_FALSE(marks.test(5));
+}
+
+TEST(EpochMarks, GrowsKeySpaceAcrossResets) {
+    EpochMarks marks;
+    marks.reset(4);
+    marks.set(3);
+    marks.reset(16);
+    EXPECT_FALSE(marks.test(3));
+    marks.set(15);
+    EXPECT_TRUE(marks.test(15));
+}
+
+TEST(EpochMarks, WraparoundNeverResurrectsStaleStamps) {
+    BasicEpochMarks<std::uint8_t> marks;
+
+    // Walk 1 marks key 2 at epoch 1.  Then cycle the epoch all the way
+    // around: 254 more resets put it at 255; the next reset wraps to 0,
+    // which must zero-fill and restart at 1.
+    marks.reset(8);
+    marks.set(2);
+    ASSERT_EQ(marks.epoch(), 1);
+
+    for (int i = 0; i < 254; ++i) {
+        marks.reset(8);
+        EXPECT_FALSE(marks.test(2)) << "stale stamp visible at epoch "
+                                    << static_cast<int>(marks.epoch());
+    }
+    ASSERT_EQ(marks.epoch(), 255);
+    marks.set(6);  // stamp == 255, about to become ambiguous
+
+    marks.reset(8);  // wraps
+    EXPECT_EQ(marks.epoch(), 1);
+    // Key 2 was stamped 1 in the previous cycle; without the zero-fill it
+    // would now falsely read as visited at the new epoch 1.
+    EXPECT_FALSE(marks.test(2));
+    EXPECT_FALSE(marks.test(6));
+    EXPECT_TRUE(marks.insert(2));
+}
+
+TEST(EpochMarks, ManyFullCyclesStayConsistent) {
+    BasicEpochMarks<std::uint8_t> marks;
+    for (int walk = 0; walk < 1000; ++walk) {
+        marks.reset(4);
+        const std::uint32_t key = static_cast<std::uint32_t>(walk % 4);
+        EXPECT_FALSE(marks.test(key)) << "walk " << walk;
+        marks.set(key);
+        EXPECT_TRUE(marks.test(key));
+    }
+}
+
+TEST(EpochMap, BasicSlotSemantics) {
+    EpochMap<int> map;
+    map.reset(8, -1);
+    EXPECT_FALSE(map.contains(4));
+    map.slot(4) = 7;
+    EXPECT_TRUE(map.contains(4));
+    EXPECT_EQ(map.at(4), 7);
+    EXPECT_EQ(map.slot(5), -1);  // fresh slot starts at init
+
+    map.reset(8, -1);
+    EXPECT_FALSE(map.contains(4));
+    EXPECT_EQ(map.slot(4), -1);  // stale value lazily re-initialized
+}
+
+TEST(EpochMap, WraparoundNeverResurrectsStaleValues) {
+    EpochMap<int, std::uint8_t> map;
+    map.reset(4, 0);
+    map.slot(1) = 42;  // stamped at epoch 1
+    ASSERT_EQ(map.epoch(), 1);
+
+    for (int i = 0; i < 254; ++i) {
+        map.reset(4, 0);
+    }
+    ASSERT_EQ(map.epoch(), 255);
+    map.slot(3) = 99;
+
+    map.reset(4, 0);  // wraps to epoch 1
+    EXPECT_EQ(map.epoch(), 1);
+    EXPECT_FALSE(map.contains(1));
+    EXPECT_FALSE(map.contains(3));
+    EXPECT_EQ(map.slot(1), 0);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a ratcheting baseline.
+
+Runs clang-tidy (config from the repo-root .clang-tidy) over every src/
+translation unit in compile_commands.json and compares the findings
+against tools/tidy_baseline.txt:
+
+  * a finding whose fingerprint appears in the baseline is tolerated —
+    UNLESS it lives in a strict path (src/aig, src/opt), where the
+    baseline never suppresses anything;
+  * any new finding fails the run (exit 1).
+
+`--update-baseline` rewrites the baseline from the current findings
+(strict-path findings are refused — fix those instead of baselining).
+
+Fingerprints are `relpath|check|message` — line numbers are deliberately
+excluded so unrelated edits above a finding don't churn the baseline.
+
+When clang-tidy is not installed the script prints a loud notice and
+exits 0: the gate is enforced in CI (which installs clang-tidy); local
+runs degrade gracefully on minimal containers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "tools" / "tidy_baseline.txt"
+STRICT_PATHS = ("src/aig", "src/opt")
+
+FINDING_RE = re.compile(
+    r"^(.+?):(\d+):(\d+): (warning|error): (.*?) \[([\w.,-]+)\]$"
+)
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(20, 11, -1)]
+    for c in candidates:
+        if shutil.which(c):
+            return c
+    return None
+
+
+def load_compile_db(build_dir: pathlib.Path) -> list[dict]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(
+            f"run_tidy: {db_path} not found — configure with cmake first "
+            f"(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return json.loads(db_path.read_text())
+
+
+def fingerprint(rel: str, check: str, message: str) -> str:
+    return f"{rel}|{check}|{message}"
+
+
+def is_strict(rel: str) -> bool:
+    return any(rel.startswith(p + "/") for p in STRICT_PATHS)
+
+
+def load_baseline() -> set[str]:
+    if not BASELINE.is_file():
+        return set()
+    out = set()
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            out.add(line)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=str(REPO / "build"))
+    parser.add_argument("--clang-tidy", default=None, help="binary to use")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite tools/tidy_baseline.txt from the current findings",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="restrict to these source files (relative)"
+    )
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print(
+            "run_tidy: clang-tidy NOT FOUND on PATH — skipping.  The tidy "
+            "gate still runs in CI; install clang-tidy to reproduce locally.",
+            file=sys.stderr,
+        )
+        return 0
+
+    build_dir = pathlib.Path(args.build_dir).resolve()
+    entries = load_compile_db(build_dir)
+
+    wanted: list[str] = []
+    for e in entries:
+        f = pathlib.Path(e["file"]).resolve()
+        try:
+            rel = f.relative_to(REPO).as_posix()
+        except ValueError:
+            continue
+        if not rel.startswith("src/"):
+            continue
+        if args.paths and rel not in args.paths:
+            continue
+        wanted.append(str(f))
+
+    if not wanted:
+        print("run_tidy: no matching translation units", file=sys.stderr)
+        return 2
+
+    print(f"run_tidy: {tidy} over {len(wanted)} TUs ...", file=sys.stderr)
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet", *wanted],
+        capture_output=True,
+        text=True,
+    )
+
+    findings: dict[str, str] = {}  # fingerprint -> display line
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path, lineno, _col, _sev, message, check = m.groups()
+        try:
+            rel = pathlib.Path(path).resolve().relative_to(REPO).as_posix()
+        except ValueError:
+            continue
+        if not rel.startswith("src/"):
+            continue
+        fp = fingerprint(rel, check, message)
+        findings.setdefault(fp, f"{rel}:{lineno}: {message} [{check}]")
+
+    if args.update_baseline:
+        strict = sorted(fp for fp in findings if is_strict(fp.split("|")[0]))
+        if strict:
+            print(
+                "run_tidy: refusing to baseline strict-path findings "
+                "(fix these instead):",
+                file=sys.stderr,
+            )
+            for fp in strict:
+                print(f"  {findings[fp]}", file=sys.stderr)
+            return 1
+        lines = [
+            "# clang-tidy baseline — managed by tools/run_tidy.py",
+            "# One fingerprint (relpath|check|message) per line.  Findings",
+            "# listed here are tolerated outside the strict paths src/aig",
+            "# and src/opt.  Regenerate with:",
+            "#   python3 tools/run_tidy.py --update-baseline",
+            "",
+            *sorted(findings),
+        ]
+        BASELINE.write_text("\n".join(lines) + "\n")
+        print(
+            f"run_tidy: baseline updated ({len(findings)} fingerprints)",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = load_baseline()
+    new = []
+    suppressed = 0
+    for fp in sorted(findings):
+        rel = fp.split("|")[0]
+        if fp in baseline and not is_strict(rel):
+            suppressed += 1
+            continue
+        new.append(findings[fp])
+
+    for line in new:
+        print(line)
+    if new:
+        print(
+            f"run_tidy: {len(new)} new finding(s) "
+            f"({suppressed} baseline-suppressed)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"run_tidy: clean ({suppressed} baseline-suppressed)", file=sys.stderr
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
