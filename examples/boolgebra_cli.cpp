@@ -36,6 +36,19 @@
 ///            --repeat times) to the serving queue, optionally hot-swaps
 ///            the model mid-stream, and reports latency percentiles and
 ///            throughput
+///   serve    --listen PORT [--bind ADDR] [--tenant NAME[:WEIGHT[:CAP]]]...
+///            [flow flags] network server mode: accept BGNP connections
+///            and serve jobs on the multi-tenant FlowService until a
+///            client sends shutdown (tenant names double as the Hello
+///            bearer tokens; no --tenant = the default tenant only)
+///   client   <host:port> flow <design...> [--samples N] [--top-k K]
+///            [--rounds R] [--seed S] [--objective O] [--verify]
+///            [--timeout SEC] [--token T] [--send-spec] [--progress]
+///            [--scale S] submit designs over the wire and wait for the
+///            results (--send-spec sends the spec string for server-side
+///            resolution instead of uploading the AIGER blob)
+///   client   <host:port> stats [--token T]      remote ServiceStats
+///   client   <host:port> shutdown [--token T]   ask the server to exit
 ///   apply    <design> --decisions d.csv [-o out]
 ///   cec      <design1> <design2>               equivalence check (sim + SAT)
 ///   map      <design> [-k K]                   K-LUT technology mapping
@@ -66,6 +79,8 @@
 #include "core/trainer.hpp"
 #include "io/aiger.hpp"
 #include "io/bench.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "opt/balance.hpp"
 #include "opt/lut_map.hpp"
 #include "opt/objective.hpp"
@@ -96,6 +111,12 @@ int usage() {
         "           [--incremental-features]\n"
         "  serve    <design...>|--all [flow flags] [--repeat N]\n"
         "           [--swap-model f|fresh] [--swap-after N]\n"
+        "  serve    --listen PORT [--bind ADDR]\n"
+        "           [--tenant NAME[:WEIGHT[:CAP]]]... [flow flags]\n"
+        "  client   <host:port> flow <design...> [--samples N] [--top-k K]\n"
+        "           [--rounds R] [--seed S] [--objective O] [--verify]\n"
+        "           [--timeout SEC] [--token T] [--send-spec] [--progress]\n"
+        "  client   <host:port> stats|shutdown [--token T]\n"
         "  apply    <design> --decisions d.csv [-o out]\n"
         "  cec      <design1> <design2> [--engine sim|bdd|sat|portfolio]\n"
         "  map      <design> [-k K]\n"
@@ -624,6 +645,296 @@ int cmd_serve(std::vector<std::string> args) {
     return 0;
 }
 
+/// Parse "NAME[:WEIGHT[:CAP]]" into a tenant registration.
+bg::core::TenantConfig parse_tenant_spec(const std::string& spec) {
+    bg::core::TenantConfig cfg;
+    const auto first = spec.find(':');
+    cfg.name = spec.substr(0, first);
+    if (first != std::string::npos) {
+        const auto second = spec.find(':', first + 1);
+        cfg.weight = static_cast<std::size_t>(std::max(
+            1LL, std::atoll(spec.substr(first + 1, second - first - 1)
+                                .c_str())));
+        if (second != std::string::npos) {
+            cfg.max_pending = static_cast<std::size_t>(
+                std::atoll(spec.substr(second + 1).c_str()));
+        }
+    }
+    if (cfg.name.empty()) {
+        throw std::invalid_argument("tenant spec '" + spec +
+                                    "' has an empty name");
+    }
+    return cfg;
+}
+
+/// `serve --listen`: the network server mode.  Binds, prints the resolved
+/// port (machine-readable first line, so scripts can grab an ephemeral
+/// port), and serves until a client sends Shutdown.
+int cmd_serve_listen(std::vector<std::string> args,
+                     const std::string& listen_arg) {
+    const auto bind_arg = flag_value(args, "--bind");
+    std::vector<bg::core::TenantConfig> tenants;
+    while (const auto tenant_arg = flag_value(args, "--tenant")) {
+        tenants.push_back(parse_tenant_spec(*tenant_arg));
+    }
+    const FlowArgs parsed = parse_flow_args(args);
+    if (!args.empty()) {
+        std::fprintf(stderr, "serve --listen takes no design arguments "
+                             "(clients submit designs); got '%s'\n",
+                     args[0].c_str());
+        return 2;
+    }
+
+    auto model = std::make_shared<bg::core::BoolGebraModel>(
+        make_cli_model(parsed.model_path));
+    bg::net::ServerConfig cfg;
+    cfg.bind_address = bind_arg.value_or("127.0.0.1");
+    cfg.port = static_cast<std::uint16_t>(std::atoi(listen_arg.c_str()));
+    cfg.service.workers = parsed.cfg.workers;
+    cfg.service.rounds = parsed.cfg.rounds;
+    cfg.service.flow = parsed.cfg.flow;
+
+    std::string tenant_line = "tenants: default";
+    for (const auto& tenant : tenants) {
+        tenant_line += ", " + tenant.name;
+    }
+    bg::net::FlowServer server(cfg, std::move(model), std::move(tenants));
+    std::printf("listening on %s:%u\n%s\n", cfg.bind_address.c_str(),
+                server.port(), tenant_line.c_str());
+    std::fflush(stdout);
+
+    server.wait_shutdown();
+    const auto st = server.service().stats();
+    server.stop();
+    std::printf("served %llu jobs (%llu cancelled, %llu timed out, "
+                "%llu rejected) in %.2fs; p50 %.3fs p95 %.3fs\n",
+                static_cast<unsigned long long>(st.jobs_completed),
+                static_cast<unsigned long long>(st.jobs_cancelled),
+                static_cast<unsigned long long>(st.jobs_timed_out),
+                static_cast<unsigned long long>(st.jobs_rejected),
+                st.uptime_seconds, st.p50_latency_seconds,
+                st.p95_latency_seconds);
+    return 0;
+}
+
+const char* status_name(bg::net::JobStatus status) {
+    switch (status) {
+        case bg::net::JobStatus::Ok:
+            return "ok";
+        case bg::net::JobStatus::Cancelled:
+            return "cancelled";
+        case bg::net::JobStatus::TimedOut:
+            return "timed-out";
+        case bg::net::JobStatus::Rejected:
+            return "rejected";
+        case bg::net::JobStatus::Failed:
+            return "failed";
+    }
+    return "?";
+}
+
+const char* verdict_name(bg::net::WireVerdict verdict) {
+    switch (verdict) {
+        case bg::net::WireVerdict::None:
+            return "-";
+        case bg::net::WireVerdict::Equivalent:
+            return "equivalent";
+        case bg::net::WireVerdict::NotEquivalent:
+            return "NOT-equivalent";
+        case bg::net::WireVerdict::ProbablyEquivalent:
+            return "probably-equivalent";
+    }
+    return "?";
+}
+
+int cmd_client_flow(bg::net::FlowClient& client,
+                    std::vector<std::string> args) {
+    const auto samples_arg = flag_value(args, "--samples");
+    const auto topk_arg = flag_value(args, "--top-k");
+    const auto rounds_arg = flag_value(args, "--rounds");
+    const auto seed_arg = flag_value(args, "--seed");
+    const auto objective_arg = flag_value(args, "--objective");
+    const auto timeout_arg = flag_value(args, "--timeout");
+    const auto scale_arg = flag_value(args, "--scale");
+    const bool verify = flag_present(args, "--verify");
+    const bool send_spec = flag_present(args, "--send-spec");
+    const bool progress = flag_present(args, "--progress");
+    if (args.empty()) {
+        std::puts("client flow requires at least one design");
+        return 2;
+    }
+    const double scale = scale_arg ? std::stod(*scale_arg) : 1.0;
+
+    auto fill = [&](bg::net::SubmitJobMsg& msg) {
+        if (samples_arg) {
+            msg.num_samples = static_cast<std::uint32_t>(
+                std::atoll(samples_arg->c_str()));
+        }
+        if (topk_arg) {
+            msg.top_k =
+                static_cast<std::uint32_t>(std::atoll(topk_arg->c_str()));
+        }
+        if (rounds_arg) {
+            msg.rounds =
+                static_cast<std::uint32_t>(std::atoll(rounds_arg->c_str()));
+        }
+        if (seed_arg) {
+            msg.seed =
+                static_cast<std::uint64_t>(std::atoll(seed_arg->c_str()));
+        }
+        if (objective_arg) {
+            msg.objective = *objective_arg;
+        }
+        if (timeout_arg) {
+            msg.timeout_seconds = std::stod(*timeout_arg);
+        }
+        msg.verify = verify;
+        msg.want_progress = progress;
+    };
+
+    // One SubmitJob per design: either resolved locally and uploaded as a
+    // binary AIGER blob, or forwarded as a spec string (--send-spec) for
+    // server-side registry/file resolution.
+    std::vector<std::pair<std::uint64_t, std::string>> jobs;
+    if (send_spec) {
+        for (const auto& spec : args) {
+            bg::net::SubmitJobMsg msg;
+            msg.kind = bg::net::DesignKind::DesignSpec;
+            msg.design = spec;
+            fill(msg);
+            jobs.emplace_back(client.submit(std::move(msg)), spec);
+        }
+    } else {
+        const auto resolved =
+            bg::circuits::resolve_design_specs(args, false, scale);
+        for (const auto& design : resolved) {
+            bg::net::SubmitJobMsg msg;
+            msg.kind = bg::net::DesignKind::AigerBlob;
+            msg.name = design.name;
+            msg.design =
+                bg::io::write_aiger_binary_string(design.load());
+            fill(msg);
+            jobs.emplace_back(client.submit(std::move(msg)), design.name);
+        }
+    }
+
+    bg::TablePrinter table({"job", "design", "status", "ands", "final",
+                            "ratio", "rounds", "verify", "sec"});
+    bool any_bad = false;
+    for (const auto& [job_id, name] : jobs) {
+        const auto result = client.wait(
+            job_id, [&](const bg::net::ProgressMsg& p) {
+                if (progress) {
+                    std::printf("  job %llu round %u: %llu ands\n",
+                                static_cast<unsigned long long>(p.job_id),
+                                p.round,
+                                static_cast<unsigned long long>(p.ands));
+                }
+            });
+        const bool ok = result.status == bg::net::JobStatus::Ok;
+        const bool refuted =
+            result.verdict == bg::net::WireVerdict::NotEquivalent;
+        any_bad = any_bad || !ok || refuted;
+        table.add_row(
+            {std::to_string(job_id), name, status_name(result.status),
+             ok ? std::to_string(result.original_ands) : "-",
+             ok ? std::to_string(result.final_ands) : "-",
+             ok ? bg::TablePrinter::fmt(result.final_ratio)
+                : result.message,
+             ok ? std::to_string(result.rounds_run) : "-",
+             verdict_name(result.verdict),
+             bg::TablePrinter::fmt(result.seconds, 2)});
+    }
+    table.print();
+    return any_bad ? 1 : 0;
+}
+
+int cmd_client_stats(bg::net::FlowClient& client) {
+    const auto st = client.stats();
+    std::printf("jobs: %llu submitted, %llu completed, %llu pending, "
+                "%llu cancelled, %llu timed out, %llu rejected\n",
+                static_cast<unsigned long long>(st.jobs_submitted),
+                static_cast<unsigned long long>(st.jobs_completed),
+                static_cast<unsigned long long>(st.jobs_pending),
+                static_cast<unsigned long long>(st.jobs_cancelled),
+                static_cast<unsigned long long>(st.jobs_timed_out),
+                static_cast<unsigned long long>(st.jobs_rejected));
+    std::printf("verify: %llu verified, %llu refuted, %llu unknown; "
+                "%llu samples; uptime %.2fs p50 %.3fs p95 %.3fs\n",
+                static_cast<unsigned long long>(st.jobs_verified),
+                static_cast<unsigned long long>(st.jobs_refuted),
+                static_cast<unsigned long long>(st.jobs_unknown),
+                static_cast<unsigned long long>(st.samples_run),
+                st.uptime_seconds, st.p50_latency_seconds,
+                st.p95_latency_seconds);
+    for (const auto& t : st.tenants) {
+        std::printf("tenant %-12s submitted %llu ok %llu cancelled %llu "
+                    "timed-out %llu failed %llu rejected %llu pending "
+                    "%llu\n",
+                    t.name.empty() ? "(default)" : t.name.c_str(),
+                    static_cast<unsigned long long>(t.submitted),
+                    static_cast<unsigned long long>(t.ok),
+                    static_cast<unsigned long long>(t.cancelled),
+                    static_cast<unsigned long long>(t.timed_out),
+                    static_cast<unsigned long long>(t.failed),
+                    static_cast<unsigned long long>(t.rejected),
+                    static_cast<unsigned long long>(t.pending));
+    }
+    return 0;
+}
+
+/// `client <host:port> flow|stats|shutdown ...`.  Exit codes: 0 success,
+/// 1 a job failed or a verdict was refuted, 2 usage/connect errors.
+int cmd_client(std::vector<std::string> args) {
+    if (args.size() < 2) {
+        std::puts("client requires <host:port> and a subcommand "
+                  "(flow, stats, shutdown)");
+        return 2;
+    }
+    const std::string endpoint = args[0];
+    const std::string sub = args[1];
+    args.erase(args.begin(), args.begin() + 2);
+
+    bg::net::ClientConfig cfg;
+    const auto colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+        std::fprintf(stderr, "endpoint '%s' is not host:port\n",
+                     endpoint.c_str());
+        return 2;
+    }
+    cfg.host = endpoint.substr(0, colon);
+    cfg.port = static_cast<std::uint16_t>(
+        std::atoi(endpoint.substr(colon + 1).c_str()));
+    cfg.token = flag_value(args, "--token").value_or("");
+
+    try {
+        bg::net::FlowClient client(std::move(cfg));
+        if (sub == "flow") {
+            return cmd_client_flow(client, std::move(args));
+        }
+        if (sub == "stats") {
+            return cmd_client_stats(client);
+        }
+        if (sub == "shutdown") {
+            client.request_shutdown();
+            std::puts("server acknowledged shutdown");
+            return 0;
+        }
+        std::fprintf(stderr, "unknown client subcommand '%s'\n",
+                     sub.c_str());
+        return 2;
+    } catch (const bg::net::SocketError& e) {
+        std::fprintf(stderr, "connection error: %s\n", e.what());
+        return 2;
+    } catch (const bg::net::RpcError& e) {
+        std::fprintf(stderr, "server refused: %s\n", e.what());
+        return 2;
+    } catch (const bg::net::ProtocolError& e) {
+        std::fprintf(stderr, "protocol error: %s\n", e.what());
+        return 2;
+    }
+}
+
 int cmd_apply(Aig g, std::vector<std::string> args) {
     const auto dec_arg = flag_value(args, "--decisions");
     const auto out_arg = flag_value(args, "-o");
@@ -772,7 +1083,13 @@ int main(int argc, char** argv) {
             return cmd_flow(std::move(args));
         }
         if (cmd == "serve") {
+            if (const auto listen_arg = flag_value(args, "--listen")) {
+                return cmd_serve_listen(std::move(args), *listen_arg);
+            }
             return cmd_serve(std::move(args));
+        }
+        if (cmd == "client") {
+            return cmd_client(std::move(args));
         }
         if (cmd == "apply" && !args.empty()) {
             Aig g = load_design(args[0]);

@@ -170,6 +170,9 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
     BG_EXPECTS(cfg.num_samples > 0 && cfg.top_k > 0,
                "flow needs samples and a positive top-k");
     cfg.opt.validate();
+    // Stage-boundary cancel points (the exact-evaluation and commit inner
+    // loops poll the same token through OptParams inside orchestrate).
+    poll_cancel(cfg.opt.cancel, "run_flow entry");
     const opt::Objective& obj = flow_objective(cfg);
     FlowResult res;
     res.original_size = design.num_ands();
@@ -216,6 +219,7 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
         st_src = &st_local;
     }
     const StaticFeatures& st = *st_src;
+    poll_cancel(cfg.opt.cancel, "run_flow sampling");
     const auto decisions = generate_decisions(design, cfg.num_samples,
                                               cfg.guided, cfg.seed, st);
 
@@ -250,6 +254,7 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
     // bit — plan.single_head reads the raw column, no reweighting).
     const RankingPlan plan =
         plan_ranking(model, obj, cfg.ranking_head);
+    poll_cancel(cfg.opt.cancel, "run_flow prediction");
     res.ranked_by = plan.describe;
     res.predictions =
         plan.single_head
@@ -264,6 +269,7 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
     res.samples_evaluated = res.predictions.size();
 
     // Step 3: evaluate the top-k exactly (smaller score = better).
+    poll_cancel(cfg.opt.cancel, "run_flow evaluation");
     std::vector<std::size_t> order(decisions.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::stable_sort(order.begin(), order.end(),
@@ -339,6 +345,7 @@ FlowResult run_flow(const Aig& design, const BoolGebraModel& model,
                                   : 1.0;
 
     if (cfg.verify) {
+        poll_cancel(cfg.opt.cancel, "run_flow verification");
         // Re-materialize the winner (deterministic re-run keeps peak
         // memory flat: no need to retain k optimized graphs above) and
         // prove it against the input design.

@@ -17,9 +17,12 @@ DesignFlowResult run_design_flow(const DesignJob& job,
                                  const BoolGebraModel& model,
                                  const FlowConfig& flow_cfg,
                                  std::size_t rounds, ThreadPool* pool,
-                                 verify::PortfolioCec* prover) {
+                                 verify::PortfolioCec* prover,
+                                 const JobControl* control) {
     BG_EXPECTS(rounds >= 1, "a design flow needs at least one round");
     const opt::Objective& obj = flow_objective(flow_cfg);
+    const bg::CancelToken* cancel =
+        control != nullptr ? control->cancel : nullptr;
     DesignFlowResult res;
     res.name = job.name;
     res.original_size = job.design.num_ands();
@@ -32,6 +35,13 @@ DesignFlowResult run_design_flow(const DesignJob& job,
     // graph vs input design) — cheaper and strictly stronger than proving
     // each round; a single uncommitted round verifies inside run_flow.
     round_cfg.verify = flow_cfg.verify && rounds == 1;
+    // The token rides OptParams into every run_flow stage and orchestrate
+    // node walk; null leaves those paths bit-identical to uncontrolled
+    // runs.  A provided JobControl owns the cancel decision; without one,
+    // whatever the caller put in flow.opt.cancel stays in effect.
+    if (control != nullptr) {
+        round_cfg.opt.cancel = cancel;
+    }
 
     // Commit-path intra parallelism: share the engine pool, else spin up
     // a transient one (orchestrate_parallel stays bit-identical to the
@@ -47,7 +57,9 @@ DesignFlowResult run_design_flow(const DesignJob& job,
         }
     }
     FeatureCache cache;  // incremental mode only
+    bool round1_productive = false;
     for (std::size_t round = 0; round < rounds; ++round) {
+        poll_cancel(cancel, "run_design_flow round boundary");
         round_cfg.seed = flow_cfg.seed + round;  // fresh samples per round
         // Per-round caches shared by every flow step of this design —
         // rebuilt fresh each round, or maintained incrementally across
@@ -78,6 +90,7 @@ DesignFlowResult run_design_flow(const DesignJob& job,
         if (round == 0) {
             res.flow = flow;
             res.iterated.original_depth = flow.original_depth;
+            round1_productive = productive;
         }
         if (!productive) {
             break;
@@ -102,6 +115,9 @@ DesignFlowResult run_design_flow(const DesignJob& job,
                 cache.invalidate();
             }
         }
+        if (control != nullptr && control->on_progress) {
+            control->on_progress(round + 1, current.num_ands());
+        }
     }
     if (rounds == 1) {
         // Final size/depth are the best evaluated candidate's
@@ -113,6 +129,25 @@ DesignFlowResult run_design_flow(const DesignJob& job,
         res.iterated.final_depth = res.flow.best_cost.depth;
         res.iterated.final_depth_ratio = res.flow.bg_best_depth_ratio;
         res.verification = res.flow.verification;
+        if (control != nullptr && control->on_progress) {
+            control->on_progress(1, res.iterated.final_size);
+        }
+        if (control != nullptr && control->want_graph) {
+            // Re-materialize the best candidate exactly as the verify
+            // path does (deterministic re-run; the k evaluated graphs
+            // were deliberately not retained).
+            if (round1_productive) {
+                Aig best_graph;
+                (void)evaluate_decisions(
+                    job.design, res.flow.best_decisions, round_cfg.opt, obj,
+                    &best_graph,
+                    flow_cfg.intra_workers >= 2 ? &intra : nullptr);
+                res.final_graph =
+                    std::make_shared<const Aig>(std::move(best_graph));
+            } else {
+                res.final_graph = std::make_shared<const Aig>(job.design);
+            }
+        }
     } else {
         res.iterated.final_size = current.num_ands();
         res.iterated.final_ratio =
@@ -132,6 +167,9 @@ DesignFlowResult run_design_flow(const DesignJob& job,
                 verify::PortfolioCec local(flow_cfg.verify_opts, pool);
                 res.verification = local.check(job.design, current);
             }
+        }
+        if (control != nullptr && control->want_graph) {
+            res.final_graph = std::make_shared<const Aig>(std::move(current));
         }
     }
     res.seconds = watch.seconds();

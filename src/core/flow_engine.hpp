@@ -23,12 +23,14 @@
 /// the worker count (everything is written to per-index slots).
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/flow.hpp"
+#include "util/cancel.hpp"
 #include "util/parallel.hpp"
 
 namespace bg::core {
@@ -45,6 +47,26 @@ struct EngineConfig {
 struct DesignJob {
     std::string name;
     aig::Aig design;
+};
+
+/// Cooperative controls for one design-flow job, threaded by the serving
+/// stack (FlowService tenancy, the network front end).  All members are
+/// optional; the default object reproduces the uncontrolled run exactly.
+struct JobControl {
+    /// Cancel point polled at round boundaries and, via
+    /// OptParams::cancel, inside every orchestrate node walk and run_flow
+    /// stage.  A stopped token aborts the job with bg::CancelledError.
+    const bg::CancelToken* cancel = nullptr;
+    /// Invoked on the executing thread after each completed round with
+    /// (1-based round, AND count of the graph after that round): the
+    /// committed size for iterated flows, the best candidate's size for
+    /// single-shot flows (which commit nothing).
+    std::function<void(std::size_t round, std::size_t ands)> on_progress;
+    /// Materialize the final optimized graph into
+    /// DesignFlowResult::final_graph (the committed graph for rounds > 1,
+    /// the re-materialized best round-1 candidate otherwise; the input
+    /// design when no round was productive).
+    bool want_graph = false;
 };
 
 struct DesignFlowResult {
@@ -65,6 +87,12 @@ struct DesignFlowResult {
     /// (the committed graph for rounds > 1, the best round-1 candidate
     /// otherwise); set exactly when FlowConfig::verify was on.
     std::optional<verify::VerifyReport> verification;
+    /// The final optimized graph; set exactly when JobControl::want_graph
+    /// was on (shared_ptr keeps the result cheap to copy through futures
+    /// and callbacks).  For rounds > 1 this is the committed graph, for
+    /// rounds == 1 the re-materialized best candidate, and the unchanged
+    /// input design when no round was productive.
+    std::shared_ptr<const aig::Aig> final_graph;
     double seconds = 0.0;
 };
 
@@ -106,11 +134,14 @@ struct BatchFlowResult {
 /// For rounds > 1 the committed result is proven end-to-end once — final
 /// graph vs input design — instead of per round; a single round verifies
 /// inside run_flow.
+/// `control` (optional) carries the cooperative cancel token, the
+/// per-round progress callback, and the want_graph switch; see JobControl.
 DesignFlowResult run_design_flow(const DesignJob& job,
                                  const BoolGebraModel& model,
                                  const FlowConfig& flow, std::size_t rounds,
                                  ThreadPool* pool,
-                                 verify::PortfolioCec* prover = nullptr);
+                                 verify::PortfolioCec* prover = nullptr,
+                                 const JobControl* control = nullptr);
 
 class FlowEngine {
 public:

@@ -1,0 +1,132 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bg::net {
+
+FlowClient::FlowClient(ClientConfig cfg)
+    : cfg_(std::move(cfg)),
+      stream_(TcpStream::connect(cfg_.host, cfg_.port)) {
+    HelloMsg hello;
+    hello.client_version = kProtocolVersion;
+    hello.token = cfg_.token;
+    send_frame(MsgType::Hello, hello.encode());
+    const Frame reply = read_frame();
+    if (reply.type == MsgType::Error) {
+        const ErrorMsg err = ErrorMsg::decode(reply.payload);
+        throw RpcError(static_cast<ErrCode>(err.code), err.message);
+    }
+    if (reply.type != MsgType::HelloAck) {
+        throw ProtocolError(ProtoErr::BadType,
+                            "expected HelloAck, got " +
+                                to_string(reply.type));
+    }
+    session_ = HelloAckMsg::decode(reply.payload);
+}
+
+std::uint64_t FlowClient::submit(SubmitJobMsg msg) {
+    if (msg.job_id == 0) {
+        msg.job_id = next_job_id_;
+    }
+    // Keep auto-assignment ahead of explicit ids so the two schemes mix.
+    next_job_id_ = std::max(next_job_id_, msg.job_id + 1);
+    send_frame(MsgType::SubmitJob, msg.encode());
+    return msg.job_id;
+}
+
+ResultMsg FlowClient::wait(
+    std::uint64_t job_id,
+    const std::function<void(const ProgressMsg&)>& on_progress) {
+    while (true) {
+        const auto it = done_.find(job_id);
+        if (it != done_.end()) {
+            ResultMsg result = std::move(it->second);
+            done_.erase(it);
+            return result;
+        }
+        (void)consume_or_return(read_frame(), MsgType::Result, job_id,
+                                on_progress);
+    }
+}
+
+void FlowClient::cancel(std::uint64_t job_id) {
+    CancelMsg msg;
+    msg.job_id = job_id;
+    send_frame(MsgType::Cancel, msg.encode());
+}
+
+StatsReplyMsg FlowClient::stats() {
+    send_frame(MsgType::StatsRequest, StatsRequestMsg{}.encode());
+    while (true) {
+        auto frame =
+            consume_or_return(read_frame(), MsgType::StatsReply, 0, {});
+        if (frame) {
+            return StatsReplyMsg::decode(frame->payload);
+        }
+    }
+}
+
+void FlowClient::request_shutdown() {
+    send_frame(MsgType::Shutdown, ShutdownMsg{}.encode());
+    while (true) {
+        auto frame =
+            consume_or_return(read_frame(), MsgType::ShutdownAck, 0, {});
+        if (frame) {
+            ShutdownAckMsg::decode(frame->payload);
+            return;
+        }
+    }
+}
+
+Frame FlowClient::read_frame() {
+    std::uint8_t buf[16 << 10];
+    while (true) {
+        if (auto frame = decoder_.next()) {
+            return std::move(*frame);
+        }
+        const std::size_t got = stream_.read_some(buf, sizeof buf);
+        if (got == 0) {
+            throw SocketError("server closed the connection");
+        }
+        decoder_.feed(buf, got);
+    }
+}
+
+void FlowClient::send_frame(MsgType type,
+                            const std::vector<std::uint8_t>& payload) {
+    const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+    stream_.write_all(frame.data(), frame.size());
+}
+
+std::optional<Frame> FlowClient::consume_or_return(
+    Frame frame, MsgType want, std::uint64_t progress_job,
+    const std::function<void(const ProgressMsg&)>& on_progress) {
+    if (frame.type == want && want != MsgType::Result) {
+        return frame;
+    }
+    switch (frame.type) {
+        case MsgType::Result: {
+            ResultMsg result = ResultMsg::decode(frame.payload);
+            done_.emplace(result.job_id, std::move(result));
+            return std::nullopt;
+        }
+        case MsgType::Progress: {
+            const ProgressMsg progress = ProgressMsg::decode(frame.payload);
+            if (on_progress && progress.job_id == progress_job) {
+                on_progress(progress);
+            }
+            return std::nullopt;
+        }
+        case MsgType::Error: {
+            const ErrorMsg err = ErrorMsg::decode(frame.payload);
+            throw RpcError(static_cast<ErrCode>(err.code), err.message);
+        }
+        default:
+            throw ProtocolError(ProtoErr::BadType,
+                                "unexpected frame " + to_string(frame.type) +
+                                    " while waiting for " + to_string(want));
+    }
+}
+
+}  // namespace bg::net

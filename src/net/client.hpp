@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file client.hpp
+/// bg::net::FlowClient — the blocking client side of the BGNP protocol.
+///
+/// One TCP connection, one thread of control: every call runs on the
+/// caller's thread (connect + Hello in the constructor, frame reads
+/// inline in wait()/stats()).  The server may interleave replies for
+/// different jobs on the wire, so wait(job_id) buffers any Result it
+/// reads for *other* jobs and hands them out when their ids are waited
+/// on — submit several jobs first, then wait in any order.
+///
+/// Not thread-safe: guard a shared instance externally, or open one
+/// client per thread (connections are cheap; tenancy is per-connection).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace bg::net {
+
+/// A typed Error frame from the server (authentication, unknown tenant,
+/// shutdown...).  Protocol-level desync throws ProtocolError instead,
+/// transport failure SocketError.
+class RpcError : public std::runtime_error {
+public:
+    RpcError(ErrCode code, const std::string& message)
+        : std::runtime_error(message), code_(code) {}
+    ErrCode code() const { return code_; }
+
+private:
+    ErrCode code_;
+};
+
+struct ClientConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Tenant bearer token (empty = the default tenant).
+    std::string token;
+};
+
+class FlowClient {
+public:
+    /// Connects and completes the Hello handshake; throws SocketError on
+    /// connect failure, RpcError when the server refuses the token.
+    explicit FlowClient(ClientConfig cfg);
+    ~FlowClient() = default;
+
+    FlowClient(const FlowClient&) = delete;
+    FlowClient& operator=(const FlowClient&) = delete;
+
+    const HelloAckMsg& session() const { return session_; }
+
+    /// Send one job.  A zero msg.job_id is replaced with the next unused
+    /// client-side id; the (possibly assigned) id is returned and is the
+    /// handle for wait()/cancel().
+    std::uint64_t submit(SubmitJobMsg msg);
+
+    /// Block until this job's Result arrives.  Progress frames for the
+    /// job invoke `on_progress` (when set) on the calling thread; frames
+    /// for other jobs are buffered for their own wait() calls.
+    ResultMsg wait(std::uint64_t job_id,
+                   const std::function<void(const ProgressMsg&)>&
+                       on_progress = {});
+
+    /// Request cooperative cancellation (fire-and-forget: the job still
+    /// resolves through wait(), typically with JobStatus::Cancelled).
+    void cancel(std::uint64_t job_id);
+
+    /// Round-trip a StatsRequest.
+    StatsReplyMsg stats();
+
+    /// Ask the server to shut down (wait_shutdown() on the server side
+    /// returns); blocks for the ShutdownAck.
+    void request_shutdown();
+
+    /// Drop the connection (in-flight jobs get cancelled server-side).
+    void close() noexcept { stream_.shutdown_both(); }
+
+private:
+    /// Read exactly one frame (blocking).  EOF throws SocketError.
+    Frame read_frame();
+    void send_frame(MsgType type, const std::vector<std::uint8_t>& payload);
+    /// Handle one incoming frame while waiting for `want`: buffers
+    /// Results, dispatches Progress, throws on Error frames.  Returns the
+    /// frame when it is of the wanted type.
+    std::optional<Frame> consume_or_return(
+        Frame frame, MsgType want, std::uint64_t progress_job,
+        const std::function<void(const ProgressMsg&)>& on_progress);
+
+    ClientConfig cfg_;
+    TcpStream stream_;
+    FrameDecoder decoder_;
+    HelloAckMsg session_;
+    std::uint64_t next_job_id_ = 1;
+    std::map<std::uint64_t, ResultMsg> done_;  ///< results read early
+};
+
+}  // namespace bg::net

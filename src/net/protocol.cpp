@@ -1,0 +1,510 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace bg::net {
+
+bool msg_type_known(std::uint8_t raw) {
+    return raw >= static_cast<std::uint8_t>(MsgType::Hello) &&
+           raw <= static_cast<std::uint8_t>(MsgType::ShutdownAck);
+}
+
+std::string to_string(MsgType type) {
+    switch (type) {
+        case MsgType::Hello:
+            return "Hello";
+        case MsgType::HelloAck:
+            return "HelloAck";
+        case MsgType::SubmitJob:
+            return "SubmitJob";
+        case MsgType::Progress:
+            return "Progress";
+        case MsgType::Result:
+            return "Result";
+        case MsgType::Cancel:
+            return "Cancel";
+        case MsgType::StatsRequest:
+            return "StatsRequest";
+        case MsgType::StatsReply:
+            return "StatsReply";
+        case MsgType::Error:
+            return "Error";
+        case MsgType::Shutdown:
+            return "Shutdown";
+        case MsgType::ShutdownAck:
+            return "ShutdownAck";
+    }
+    return "Unknown";
+}
+
+// ---------------------------------------------------------------------
+// WireWriter
+
+void WireWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void WireWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::bytes(const std::string& v) {
+    if (v.size() > kMaxPayloadBytes) {
+        throw ProtocolError(ProtoErr::Oversized,
+                            "byte string exceeds the frame payload cap");
+    }
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_.insert(out_.end(), v.begin(), v.end());
+}
+
+// ---------------------------------------------------------------------
+// WireReader
+
+std::uint8_t WireReader::u8() {
+    if (remaining() < 1) {
+        throw ProtocolError(ProtoErr::Truncated, "payload ended mid-u8");
+    }
+    return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+    if (remaining() < 2) {
+        throw ProtocolError(ProtoErr::Truncated, "payload ended mid-u16");
+    }
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+        v = static_cast<std::uint16_t>(
+            v | static_cast<std::uint16_t>(data_[pos_ + static_cast<std::size_t>(i)])
+                    << (8 * i));
+    }
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t WireReader::u32() {
+    if (remaining() < 4) {
+        throw ProtocolError(ProtoErr::Truncated, "payload ended mid-u32");
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t WireReader::u64() {
+    if (remaining() < 8) {
+        throw ProtocolError(ProtoErr::Truncated, "payload ended mid-u64");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::bytes() {
+    const std::uint32_t len = u32();
+    if (remaining() < len) {
+        throw ProtocolError(ProtoErr::Truncated,
+                            "byte-string length prefix exceeds the payload");
+    }
+    if (len == 0) {
+        return {};  // data_ may be null on an empty payload
+    }
+    std::string v(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return v;
+}
+
+void WireReader::finish() const {
+    if (remaining() != 0) {
+        throw ProtocolError(ProtoErr::TrailingBytes,
+                            std::to_string(remaining()) +
+                                " trailing payload bytes after the message");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+
+std::vector<std::uint8_t> encode_frame(
+    MsgType type, const std::vector<std::uint8_t>& payload) {
+    if (payload.size() > kMaxPayloadBytes) {
+        throw ProtocolError(ProtoErr::Oversized,
+                            "payload exceeds the frame cap");
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderSize + payload.size());
+    WireWriter header;
+    header.u32(kMagic);
+    header.u8(kProtocolVersion);
+    header.u8(static_cast<std::uint8_t>(type));
+    header.u16(0);  // reserved
+    header.u32(static_cast<std::uint32_t>(payload.size()));
+    const auto& h = header.data();
+    out.insert(out.end(), h.begin(), h.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+    // Compact lazily so a long-lived connection does not grow the buffer
+    // without bound.
+    if (consumed_ > 0 && (consumed_ >= buf_.size() ||
+                          consumed_ > (64u << 10))) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+    if (buffered() < kHeaderSize) {
+        return std::nullopt;
+    }
+    // Re-read the header from the consumed offset each call; validation
+    // repeats until the payload arrives, which is cheap and keeps the
+    // decoder stateless across feeds.
+    const std::vector<std::uint8_t> head(
+        buf_.begin() + static_cast<std::ptrdiff_t>(consumed_),
+        buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + kHeaderSize));
+    WireReader r(head);
+    if (r.u32() != kMagic) {
+        throw ProtocolError(ProtoErr::BadMagic, "bad frame magic");
+    }
+    if (const std::uint8_t version = r.u8(); version != kProtocolVersion) {
+        throw ProtocolError(ProtoErr::BadVersion,
+                            "unsupported protocol version " +
+                                std::to_string(version));
+    }
+    const std::uint8_t type = r.u8();
+    if (!msg_type_known(type)) {
+        throw ProtocolError(ProtoErr::BadType,
+                            "unknown message type " + std::to_string(type));
+    }
+    if (r.u16() != 0) {
+        throw ProtocolError(ProtoErr::BadReserved,
+                            "reserved header bytes must be zero");
+    }
+    const std::uint32_t len = r.u32();
+    if (len > kMaxPayloadBytes) {
+        throw ProtocolError(ProtoErr::Oversized,
+                            "frame payload length " + std::to_string(len) +
+                                " exceeds the cap");
+    }
+    if (buffered() < kHeaderSize + len) {
+        return std::nullopt;  // wait for the rest of the payload
+    }
+    Frame frame;
+    frame.type = static_cast<MsgType>(type);
+    const auto payload_begin = buf_.begin() + static_cast<std::ptrdiff_t>(
+                                                  consumed_ + kHeaderSize);
+    frame.payload.assign(payload_begin,
+                         payload_begin + static_cast<std::ptrdiff_t>(len));
+    consumed_ += kHeaderSize + len;
+    return frame;
+}
+
+// ---------------------------------------------------------------------
+// Messages
+
+std::vector<std::uint8_t> HelloMsg::encode() const {
+    WireWriter w;
+    w.u32(client_version);
+    w.bytes(token);
+    return w.take();
+}
+
+HelloMsg HelloMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    HelloMsg m;
+    m.client_version = r.u32();
+    m.token = r.bytes();
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> HelloAckMsg::encode() const {
+    WireWriter w;
+    w.u64(session_id);
+    w.bytes(tenant);
+    w.u64(max_payload);
+    return w.take();
+}
+
+HelloAckMsg HelloAckMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    HelloAckMsg m;
+    m.session_id = r.u64();
+    m.tenant = r.bytes();
+    m.max_payload = r.u64();
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> SubmitJobMsg::encode() const {
+    WireWriter w;
+    w.u64(job_id);
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.bytes(name);
+    w.bytes(design);
+    w.bytes(objective);
+    w.u32(num_samples);
+    w.u32(top_k);
+    w.u32(rounds);
+    w.u64(seed);
+    std::uint8_t flags = 0;
+    flags |= verify ? 1u : 0u;
+    flags |= want_progress ? 2u : 0u;
+    w.u8(flags);
+    w.f64(timeout_seconds);
+    return w.take();
+}
+
+SubmitJobMsg SubmitJobMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    SubmitJobMsg m;
+    m.job_id = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(DesignKind::DesignSpec)) {
+        throw ProtocolError(ProtoErr::BadValue,
+                            "unknown design kind " + std::to_string(kind));
+    }
+    m.kind = static_cast<DesignKind>(kind);
+    m.name = r.bytes();
+    m.design = r.bytes();
+    m.objective = r.bytes();
+    m.num_samples = r.u32();
+    m.top_k = r.u32();
+    m.rounds = r.u32();
+    m.seed = r.u64();
+    const std::uint8_t flags = r.u8();
+    if ((flags & ~3u) != 0) {
+        throw ProtocolError(ProtoErr::BadValue, "unknown submit flags");
+    }
+    m.verify = (flags & 1u) != 0;
+    m.want_progress = (flags & 2u) != 0;
+    m.timeout_seconds = r.f64();
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> ProgressMsg::encode() const {
+    WireWriter w;
+    w.u64(job_id);
+    w.u32(round);
+    w.u64(ands);
+    return w.take();
+}
+
+ProgressMsg ProgressMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    ProgressMsg m;
+    m.job_id = r.u64();
+    m.round = r.u32();
+    m.ands = r.u64();
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> ResultMsg::encode() const {
+    WireWriter w;
+    w.u64(job_id);
+    w.u8(static_cast<std::uint8_t>(status));
+    w.bytes(message);
+    w.bytes(ranked_by);
+    w.bytes(objective);
+    w.u64(original_ands);
+    w.u64(final_ands);
+    w.f64(bg_best_ratio);
+    w.f64(bg_mean_ratio);
+    w.f64(final_ratio);
+    w.u32(rounds_run);
+    w.u8(static_cast<std::uint8_t>(verdict));
+    w.f64(seconds);
+    w.bytes(optimized);
+    return w.take();
+}
+
+ResultMsg ResultMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    ResultMsg m;
+    m.job_id = r.u64();
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(JobStatus::Failed)) {
+        throw ProtocolError(ProtoErr::BadValue,
+                            "unknown job status " + std::to_string(status));
+    }
+    m.status = static_cast<JobStatus>(status);
+    m.message = r.bytes();
+    m.ranked_by = r.bytes();
+    m.objective = r.bytes();
+    m.original_ands = r.u64();
+    m.final_ands = r.u64();
+    m.bg_best_ratio = r.f64();
+    m.bg_mean_ratio = r.f64();
+    m.final_ratio = r.f64();
+    m.rounds_run = r.u32();
+    const std::uint8_t verdict = r.u8();
+    if (verdict > static_cast<std::uint8_t>(WireVerdict::ProbablyEquivalent)) {
+        throw ProtocolError(ProtoErr::BadValue,
+                            "unknown verdict " + std::to_string(verdict));
+    }
+    m.verdict = static_cast<WireVerdict>(verdict);
+    m.seconds = r.f64();
+    m.optimized = r.bytes();
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> CancelMsg::encode() const {
+    WireWriter w;
+    w.u64(job_id);
+    return w.take();
+}
+
+CancelMsg CancelMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    CancelMsg m;
+    m.job_id = r.u64();
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> StatsRequestMsg::encode() const { return {}; }
+
+StatsRequestMsg StatsRequestMsg::decode(
+    const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    r.finish();
+    return {};
+}
+
+std::vector<std::uint8_t> StatsReplyMsg::encode() const {
+    WireWriter w;
+    w.u64(jobs_submitted);
+    w.u64(jobs_completed);
+    w.u64(jobs_pending);
+    w.u64(jobs_cancelled);
+    w.u64(jobs_timed_out);
+    w.u64(jobs_rejected);
+    w.u64(samples_run);
+    w.u64(jobs_verified);
+    w.u64(jobs_refuted);
+    w.u64(jobs_unknown);
+    w.f64(uptime_seconds);
+    w.f64(p50_latency_seconds);
+    w.f64(p95_latency_seconds);
+    w.u32(static_cast<std::uint32_t>(tenants.size()));
+    for (const auto& t : tenants) {
+        w.bytes(t.name);
+        w.u64(t.submitted);
+        w.u64(t.completed);
+        w.u64(t.ok);
+        w.u64(t.cancelled);
+        w.u64(t.timed_out);
+        w.u64(t.failed);
+        w.u64(t.rejected);
+        w.u64(t.pending);
+    }
+    return w.take();
+}
+
+StatsReplyMsg StatsReplyMsg::decode(
+    const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    StatsReplyMsg m;
+    m.jobs_submitted = r.u64();
+    m.jobs_completed = r.u64();
+    m.jobs_pending = r.u64();
+    m.jobs_cancelled = r.u64();
+    m.jobs_timed_out = r.u64();
+    m.jobs_rejected = r.u64();
+    m.samples_run = r.u64();
+    m.jobs_verified = r.u64();
+    m.jobs_refuted = r.u64();
+    m.jobs_unknown = r.u64();
+    m.uptime_seconds = r.f64();
+    m.p50_latency_seconds = r.f64();
+    m.p95_latency_seconds = r.f64();
+    const std::uint32_t count = r.u32();
+    // Each tenant entry is at least 68 bytes; an adversarial count is
+    // caught before any allocation scales with it.
+    if (static_cast<std::uint64_t>(count) * 68 > r.remaining()) {
+        throw ProtocolError(ProtoErr::BadValue,
+                            "tenant count exceeds the payload");
+    }
+    m.tenants.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        TenantStatsWire t;
+        t.name = r.bytes();
+        t.submitted = r.u64();
+        t.completed = r.u64();
+        t.ok = r.u64();
+        t.cancelled = r.u64();
+        t.timed_out = r.u64();
+        t.failed = r.u64();
+        t.rejected = r.u64();
+        t.pending = r.u64();
+        m.tenants.push_back(std::move(t));
+    }
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> ErrorMsg::encode() const {
+    WireWriter w;
+    w.u32(code);
+    w.bytes(message);
+    return w.take();
+}
+
+ErrorMsg ErrorMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    ErrorMsg m;
+    m.code = r.u32();
+    m.message = r.bytes();
+    r.finish();
+    return m;
+}
+
+std::vector<std::uint8_t> ShutdownMsg::encode() const { return {}; }
+
+ShutdownMsg ShutdownMsg::decode(const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    r.finish();
+    return {};
+}
+
+std::vector<std::uint8_t> ShutdownAckMsg::encode() const { return {}; }
+
+ShutdownAckMsg ShutdownAckMsg::decode(
+    const std::vector<std::uint8_t>& payload) {
+    WireReader r(payload);
+    r.finish();
+    return {};
+}
+
+}  // namespace bg::net

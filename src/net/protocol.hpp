@@ -1,0 +1,342 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The BoolGebra network protocol (BGNP): a length-prefixed binary
+/// framing with versioned typed messages, deliberately independent of the
+/// transport and of the serving engine — the codec knows bytes, the
+/// FlowServer knows FlowService, and nothing in between (the
+/// format/io/backend layering of the NCIP BMC suite).
+///
+/// ## Frame layout (all integers little-endian)
+///
+/// | offset | size | field                                   |
+/// |-------:|-----:|-----------------------------------------|
+/// |      0 |    4 | magic `0x42474E50` ("BGNP")             |
+/// |      4 |    1 | protocol version (`kProtocolVersion`)   |
+/// |      5 |    1 | message type (MsgType)                  |
+/// |      6 |    2 | reserved, must be 0                     |
+/// |      8 |    4 | payload length in bytes                 |
+/// |     12 |    n | payload (message-type specific)         |
+///
+/// The payload length is validated against a hard cap *before* any
+/// payload byte is buffered, so an adversarial length prefix cannot make
+/// the decoder allocate.  Payload primitives are u8/u16/u32/u64, f64
+/// (IEEE-754 bit pattern in a u64), and length-prefixed byte strings
+/// (u32 length, checked against the bytes actually present).  Every
+/// decode is bounds-checked and throws ProtocolError — never reads past
+/// the frame, never crashes (the fuzz suite in tests/test_net_protocol.cpp
+/// holds this under ASan/UBSan).
+///
+/// ## Messages
+///
+/// Hello/HelloAck authenticate a connection (tenant token -> tenant).
+/// SubmitJob carries a design (binary AIGER blob, or a design-spec string
+/// for server-side resolution) plus the flow parameters; the server
+/// answers with optional Progress frames and exactly one Result carrying
+/// the verdict and (on success) the optimized graph as a binary AIGER
+/// blob.  Cancel aborts one job cooperatively.  StatsRequest/StatsReply
+/// expose ServiceStats including the per-tenant slices.  Error reports
+/// connection-level failures; Shutdown/ShutdownAck ask the server to
+/// stop.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bg::net {
+
+inline constexpr std::uint32_t kMagic = 0x42474E50;  // "BGNP" LE bytes PNGB
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Hard cap on one frame's payload: large enough for multi-million-node
+/// AIGER blobs, small enough that a hostile length prefix cannot OOM the
+/// decoder.
+inline constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+    Hello = 1,
+    HelloAck = 2,
+    SubmitJob = 3,
+    Progress = 4,
+    Result = 5,
+    Cancel = 6,
+    StatsRequest = 7,
+    StatsReply = 8,
+    Error = 9,
+    Shutdown = 10,
+    ShutdownAck = 11,
+};
+
+/// True for byte values that decode to a known MsgType.
+bool msg_type_known(std::uint8_t raw);
+std::string to_string(MsgType type);
+
+/// Why a frame or payload was rejected.
+enum class ProtoErr : std::uint8_t {
+    BadMagic = 1,
+    BadVersion = 2,
+    BadType = 3,
+    BadReserved = 4,
+    Oversized = 5,       ///< length prefix beyond the hard cap
+    Truncated = 6,       ///< payload ended mid-field
+    TrailingBytes = 7,   ///< payload longer than the message
+    BadValue = 8,        ///< field decoded but semantically invalid
+};
+
+class ProtocolError : public std::runtime_error {
+public:
+    ProtocolError(ProtoErr code, const std::string& what)
+        : std::runtime_error(what), code_(code) {}
+
+    ProtoErr code() const { return code_; }
+
+private:
+    ProtoErr code_;
+};
+
+/// One decoded frame: the type plus its raw payload bytes.
+struct Frame {
+    MsgType type = MsgType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/// Bounds-checked payload serializer.
+class WireWriter {
+public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v);
+    /// Length-prefixed bytes (u32 length + raw).  Throws ProtocolError
+    /// (Oversized) past kMaxPayloadBytes.
+    void bytes(const std::string& v);
+
+    const std::vector<std::uint8_t>& data() const { return out_; }
+    std::vector<std::uint8_t> take() { return std::move(out_); }
+
+private:
+    std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked payload reader; every accessor throws ProtocolError
+/// (Truncated) instead of reading past the end.
+class WireReader {
+public:
+    explicit WireReader(const std::vector<std::uint8_t>& payload)
+        : data_(payload.data()), size_(payload.size()) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string bytes();
+
+    std::size_t remaining() const { return size_ - pos_; }
+    /// Call after the last field: throws ProtocolError (TrailingBytes)
+    /// when payload bytes remain, so junk appended to a valid message is
+    /// rejected rather than silently ignored.
+    void finish() const;
+
+private:
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/// Serialize a complete frame (header + payload).
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const std::vector<std::uint8_t>&
+                                           payload);
+
+/// Incremental frame reassembly over a byte stream.  feed() appends
+/// whatever the socket produced; next() yields one decoded frame at a
+/// time, or nullopt while incomplete.  Header validation (magic, version,
+/// type, reserved, length cap) happens as soon as the 12 header bytes are
+/// present — a bad or oversized header throws before its payload is
+/// buffered, and the decoder is then poisoned (the stream has lost sync;
+/// the connection must be dropped).
+class FrameDecoder {
+public:
+    void feed(const std::uint8_t* data, std::size_t n);
+    std::optional<Frame> next();
+
+    /// Bytes buffered but not yet consumed by next().
+    std::size_t buffered() const { return buf_.size() - consumed_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t consumed_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Typed messages.  Each has encode() -> payload bytes and a static
+// decode(payload) that throws ProtocolError on malformed input and
+// consumes the payload exactly (finish()).
+
+struct HelloMsg {
+    std::uint32_t client_version = kProtocolVersion;
+    std::string token;  ///< tenant token; empty = default tenant
+
+    std::vector<std::uint8_t> encode() const;
+    static HelloMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct HelloAckMsg {
+    std::uint64_t session_id = 0;
+    std::string tenant;  ///< resolved tenant name
+    std::uint64_t max_payload = kMaxPayloadBytes;
+
+    std::vector<std::uint8_t> encode() const;
+    static HelloAckMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+/// How SubmitJobMsg::design is to be interpreted.
+enum class DesignKind : std::uint8_t {
+    AigerBlob = 0,   ///< binary AIGER bytes, resolved client-side
+    DesignSpec = 1,  ///< design-spec string (registry name, file:..., ...)
+};
+
+struct SubmitJobMsg {
+    std::uint64_t job_id = 0;  ///< client-chosen, echoed in replies
+    DesignKind kind = DesignKind::AigerBlob;
+    std::string name;       ///< display name for results/stats
+    std::string design;     ///< AIGER bytes or spec string, per `kind`
+    std::string objective;  ///< make_objective spec; empty = server default
+    std::uint32_t num_samples = 0;  ///< 0 = server default
+    std::uint32_t top_k = 0;        ///< 0 = server default
+    std::uint32_t rounds = 0;       ///< 0 = server default
+    std::uint64_t seed = 0;         ///< 0 = server default
+    bool verify = false;
+    bool want_progress = false;
+    double timeout_seconds = 0.0;  ///< 0 = none
+
+    std::vector<std::uint8_t> encode() const;
+    static SubmitJobMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct ProgressMsg {
+    std::uint64_t job_id = 0;
+    std::uint32_t round = 0;  ///< 1-based completed round
+    std::uint64_t ands = 0;   ///< AND count after that round
+
+    std::vector<std::uint8_t> encode() const;
+    static ProgressMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+/// Definite outcome of one submitted job.
+enum class JobStatus : std::uint8_t {
+    Ok = 0,
+    Cancelled = 1,
+    TimedOut = 2,
+    Rejected = 3,  ///< admission failure or malformed job
+    Failed = 4,    ///< engine error while running
+};
+
+/// Wire form of a verification verdict (None = verification off).
+enum class WireVerdict : std::uint8_t {
+    None = 0,
+    Equivalent = 1,
+    NotEquivalent = 2,
+    ProbablyEquivalent = 3,
+};
+
+struct ResultMsg {
+    std::uint64_t job_id = 0;
+    JobStatus status = JobStatus::Failed;
+    std::string message;  ///< error text for non-Ok statuses
+    std::string ranked_by;
+    std::string objective;
+    std::uint64_t original_ands = 0;
+    std::uint64_t final_ands = 0;
+    double bg_best_ratio = 1.0;
+    double bg_mean_ratio = 1.0;
+    double final_ratio = 1.0;
+    std::uint32_t rounds_run = 0;
+    WireVerdict verdict = WireVerdict::None;
+    double seconds = 0.0;
+    /// Binary AIGER of the optimized graph; empty unless status == Ok and
+    /// the submitter asked for the graph.
+    std::string optimized;
+
+    std::vector<std::uint8_t> encode() const;
+    static ResultMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct CancelMsg {
+    std::uint64_t job_id = 0;
+
+    std::vector<std::uint8_t> encode() const;
+    static CancelMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct StatsRequestMsg {
+    std::vector<std::uint8_t> encode() const;
+    static StatsRequestMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct TenantStatsWire {
+    std::string name;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t pending = 0;
+};
+
+struct StatsReplyMsg {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t jobs_pending = 0;
+    std::uint64_t jobs_cancelled = 0;
+    std::uint64_t jobs_timed_out = 0;
+    std::uint64_t jobs_rejected = 0;
+    std::uint64_t samples_run = 0;
+    std::uint64_t jobs_verified = 0;
+    std::uint64_t jobs_refuted = 0;
+    std::uint64_t jobs_unknown = 0;
+    double uptime_seconds = 0.0;
+    double p50_latency_seconds = 0.0;
+    double p95_latency_seconds = 0.0;
+    std::vector<TenantStatsWire> tenants;
+
+    std::vector<std::uint8_t> encode() const;
+    static StatsReplyMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+/// Connection-level failure codes (job-level failures ride ResultMsg).
+enum class ErrCode : std::uint32_t {
+    BadFrame = 1,         ///< protocol violation (decode failure)
+    NotAuthenticated = 2, ///< SubmitJob/Stats before Hello
+    UnknownTenant = 3,    ///< Hello token matched no tenant
+    DuplicateJob = 4,     ///< job_id already in flight on this connection
+    ShuttingDown = 5,
+    Internal = 6,
+};
+
+struct ErrorMsg {
+    std::uint32_t code = 0;  ///< ErrCode numeric value
+    std::string message;
+
+    std::vector<std::uint8_t> encode() const;
+    static ErrorMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct ShutdownMsg {
+    std::vector<std::uint8_t> encode() const;
+    static ShutdownMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct ShutdownAckMsg {
+    std::vector<std::uint8_t> encode() const;
+    static ShutdownAckMsg decode(const std::vector<std::uint8_t>& payload);
+};
+
+}  // namespace bg::net

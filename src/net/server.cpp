@@ -1,0 +1,576 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "circuits/design_source.hpp"
+#include "io/aiger.hpp"
+#include "opt/objective.hpp"
+
+namespace bg::net {
+
+namespace {
+
+WireVerdict wire_verdict(
+    const std::optional<verify::VerifyReport>& report) {
+    if (!report) {
+        return WireVerdict::None;
+    }
+    switch (report->verdict) {
+        case aig::CecVerdict::Equivalent:
+            return WireVerdict::Equivalent;
+        case aig::CecVerdict::NotEquivalent:
+            return WireVerdict::NotEquivalent;
+        case aig::CecVerdict::ProbablyEquivalent:
+            return WireVerdict::ProbablyEquivalent;
+    }
+    return WireVerdict::None;
+}
+
+}  // namespace
+
+FlowServer::FlowServer(ServerConfig cfg, core::ModelSnapshot model,
+                       std::vector<core::TenantConfig> tenants)
+    : cfg_(std::move(cfg)),
+      service_(cfg_.service, std::move(model)),
+      listener_(cfg_.bind_address, cfg_.port) {
+    tenant_names_.emplace_back("");  // the default tenant's (empty) token
+    for (auto& tenant : tenants) {
+        tenant_names_.push_back(tenant.name);
+        service_.register_tenant(std::move(tenant));
+    }
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+FlowServer::~FlowServer() { stop(); }
+
+bool FlowServer::wait_shutdown(double timeout_seconds) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto pred = [&] { return shutdown_requested_ || stopping_; };
+    if (timeout_seconds <= 0.0) {
+        shutdown_cv_.wait(lock, pred);
+        return true;
+    }
+    return shutdown_cv_.wait_for(
+        lock, std::chrono::duration<double>(timeout_seconds), pred);
+}
+
+void FlowServer::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) {
+            return;
+        }
+        stopped_ = true;
+        stopping_ = true;
+        shutdown_cv_.notify_all();
+    }
+    listener_.close();
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        conns = connections_;
+    }
+    // Evict first (cancels every connection's in-flight jobs and unparks
+    // its threads), then resolve everything still queued or running in
+    // the service; only then join, so no connection thread can be parked
+    // on a socket or condition variable.
+    for (const auto& conn : conns) {
+        evict(conn);
+    }
+    service_.stop_now();
+    for (const auto& conn : conns) {
+        if (conn->reader.joinable()) {
+            conn->reader.join();
+        }
+        if (conn->writer.joinable()) {
+            conn->writer.join();
+        }
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    connections_.clear();
+}
+
+void FlowServer::accept_loop() {
+    while (true) {
+        auto stream = listener_.accept();
+        if (!stream) {
+            return;  // listener closed: server is stopping
+        }
+        auto conn = std::make_shared<Connection>();
+        if (cfg_.socket_send_buffer != 0) {
+            try {
+                stream->set_send_buffer(cfg_.socket_send_buffer);
+            } catch (const SocketError&) {
+                // Best-effort clamp; the connection still works without it.
+            }
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (stopping_) {
+                return;  // drop the late connection on the floor
+            }
+            reap_finished_locked();
+            conn->id = next_connection_id_++;
+            conn->stream = std::move(*stream);
+            connections_.push_back(conn);
+        }
+        conn->reader = std::thread([this, conn] { reader_loop(conn); });
+        conn->writer = std::thread([this, conn] { writer_loop(conn); });
+    }
+}
+
+void FlowServer::reap_finished_locked() {
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->finished()) {
+            // Both loops have returned, so the joins cannot block.
+            if ((*it)->reader.joinable()) {
+                (*it)->reader.join();
+            }
+            if ((*it)->writer.joinable()) {
+                (*it)->writer.join();
+            }
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void FlowServer::reader_loop(const std::shared_ptr<Connection>& conn) {
+    std::vector<std::uint8_t> buf(64u << 10);
+    FrameDecoder decoder;
+    bool flush_before_close = false;
+    try {
+        while (true) {
+            const std::size_t got =
+                conn->stream.read_some(buf.data(), buf.size());
+            if (got == 0) {
+                break;  // orderly EOF (or eviction shut the socket)
+            }
+            decoder.feed(buf.data(), got);
+            while (auto frame = decoder.next()) {
+                dispatch(conn, *frame);
+            }
+        }
+    } catch (const ProtocolError& e) {
+        // The stream lost sync; tell the (still readable) client why,
+        // let the writer flush, and drop the connection.
+        send_error(conn, ErrCode::BadFrame, e.what());
+        flush_before_close = true;
+    } catch (const SocketError&) {
+        // Reset/eviction: nothing to flush.
+    } catch (...) {
+    }
+    // The client can no longer receive results: cancel whatever this
+    // connection still has in flight and let the writer wind down.
+    std::vector<ActiveJob> orphaned;
+    {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        conn->closing = true;
+        orphaned.swap(conn->active);
+        if (!flush_before_close) {
+            conn->outbound.clear();
+        }
+        conn->cv.notify_all();
+    }
+    for (const auto& job : orphaned) {
+        job.token->request_cancel();
+    }
+    if (!flush_before_close) {
+        conn->stream.shutdown_both();
+    }
+    conn->reader_done.store(true, std::memory_order_release);
+}
+
+void FlowServer::writer_loop(const std::shared_ptr<Connection>& conn) {
+    while (true) {
+        std::vector<std::uint8_t> frame;
+        {
+            std::unique_lock<std::mutex> lock(conn->mu);
+            conn->cv.wait(lock, [&] {
+                return conn->closing || !conn->outbound.empty();
+            });
+            if (conn->outbound.empty()) {
+                break;  // closing and fully drained
+            }
+            frame = std::move(conn->outbound.front());
+            conn->outbound.pop_front();
+        }
+        try {
+            conn->stream.write_all(frame.data(), frame.size());
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(conn->mu);
+            conn->closing = true;
+            conn->outbound.clear();
+            break;
+        }
+    }
+    // Everything queued before closing has been flushed (or abandoned on
+    // a write failure): send the FIN now.  The fd itself lives until the
+    // connection is reaped, so without this a well-behaved client that
+    // just received our Error frame would block forever waiting for EOF.
+    conn->stream.shutdown_both();
+    conn->writer_done.store(true, std::memory_order_release);
+}
+
+bool FlowServer::enqueue(const std::shared_ptr<Connection>& conn,
+                         std::vector<std::uint8_t> frame, bool droppable) {
+    {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->closing) {
+            return false;
+        }
+        if (droppable) {
+            // Progress is best-effort: keep headroom so results always
+            // find room before the eviction threshold.
+            if (conn->outbound.size() + 8 >= cfg_.outbound_capacity) {
+                return false;
+            }
+            conn->outbound.push_back(std::move(frame));
+            conn->cv.notify_one();
+            return true;
+        }
+        if (conn->outbound.size() < cfg_.outbound_capacity) {
+            conn->outbound.push_back(std::move(frame));
+            conn->cv.notify_one();
+            return true;
+        }
+    }
+    // A must-deliver frame found the queue full: the peer is a slow
+    // consumer.  Evict (outside the connection lock) instead of ever
+    // blocking the serving worker that called us.
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evict(conn);
+    return false;
+}
+
+void FlowServer::evict(const std::shared_ptr<Connection>& conn) {
+    std::vector<ActiveJob> orphaned;
+    {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        conn->closing = true;
+        orphaned.swap(conn->active);
+        conn->outbound.clear();
+        conn->cv.notify_all();
+    }
+    for (const auto& job : orphaned) {
+        job.token->request_cancel();
+    }
+    // Unparks a reader blocked in recv and makes a writer stuck in send
+    // fail fast.
+    conn->stream.shutdown_both();
+}
+
+void FlowServer::send_error(const std::shared_ptr<Connection>& conn,
+                            ErrCode code, const std::string& message) {
+    ErrorMsg err;
+    err.code = static_cast<std::uint32_t>(code);
+    err.message = message;
+    (void)enqueue(conn, encode_frame(MsgType::Error, err.encode()),
+                  /*droppable=*/false);
+}
+
+void FlowServer::send_result(const std::shared_ptr<Connection>& conn,
+                             ResultMsg result) {
+    (void)enqueue(conn, encode_frame(MsgType::Result, result.encode()),
+                  /*droppable=*/false);
+}
+
+void FlowServer::dispatch(const std::shared_ptr<Connection>& conn,
+                          const Frame& frame) {
+    switch (frame.type) {
+        case MsgType::Hello: {
+            const HelloMsg msg = HelloMsg::decode(frame.payload);
+            if (msg.client_version != kProtocolVersion) {
+                send_error(conn, ErrCode::BadFrame,
+                           "unsupported client version " +
+                               std::to_string(msg.client_version));
+                return;
+            }
+            if (std::find(tenant_names_.begin(), tenant_names_.end(),
+                          msg.token) == tenant_names_.end()) {
+                send_error(conn, ErrCode::UnknownTenant,
+                           "unknown tenant token");
+                return;
+            }
+            std::uint64_t session = 0;
+            {
+                const std::lock_guard<std::mutex> lock(conn->mu);
+                conn->authed = true;
+                conn->tenant = msg.token;
+                session = conn->id;
+            }
+            HelloAckMsg ack;
+            ack.session_id = session;
+            ack.tenant = msg.token;
+            ack.max_payload = kMaxPayloadBytes;
+            (void)enqueue(conn,
+                          encode_frame(MsgType::HelloAck, ack.encode()),
+                          /*droppable=*/false);
+            return;
+        }
+        case MsgType::SubmitJob:
+            handle_submit(conn, SubmitJobMsg::decode(frame.payload));
+            return;
+        case MsgType::Cancel: {
+            const CancelMsg msg = CancelMsg::decode(frame.payload);
+            std::shared_ptr<bg::CancelToken> token;
+            {
+                const std::lock_guard<std::mutex> lock(conn->mu);
+                for (const auto& job : conn->active) {
+                    if (job.job_id == msg.job_id) {
+                        token = job.token;
+                        break;
+                    }
+                }
+            }
+            if (token != nullptr) {
+                token->request_cancel();
+            }
+            // Unknown ids are not an error: the job may just have
+            // completed (its Result is already on the wire).
+            return;
+        }
+        case MsgType::StatsRequest: {
+            StatsRequestMsg::decode(frame.payload);  // validates emptiness
+            if (!conn->authed) {
+                send_error(conn, ErrCode::NotAuthenticated,
+                           "StatsRequest before Hello");
+                return;
+            }
+            const core::ServiceStats stats = service_.stats();
+            StatsReplyMsg reply;
+            reply.jobs_submitted = stats.jobs_submitted;
+            reply.jobs_completed = stats.jobs_completed;
+            reply.jobs_pending = stats.jobs_pending;
+            reply.jobs_cancelled = stats.jobs_cancelled;
+            reply.jobs_timed_out = stats.jobs_timed_out;
+            reply.jobs_rejected = stats.jobs_rejected;
+            reply.samples_run = stats.samples_run;
+            reply.jobs_verified = stats.jobs_verified;
+            reply.jobs_refuted = stats.jobs_refuted;
+            reply.jobs_unknown = stats.jobs_unknown;
+            reply.uptime_seconds = stats.uptime_seconds;
+            reply.p50_latency_seconds = stats.p50_latency_seconds;
+            reply.p95_latency_seconds = stats.p95_latency_seconds;
+            reply.tenants.reserve(stats.tenants.size());
+            for (const auto& t : stats.tenants) {
+                TenantStatsWire w;
+                w.name = t.name;
+                w.submitted = t.jobs_submitted;
+                w.completed = t.jobs_completed;
+                w.ok = t.jobs_ok;
+                w.cancelled = t.jobs_cancelled;
+                w.timed_out = t.jobs_timed_out;
+                w.failed = t.jobs_failed;
+                w.rejected = t.jobs_rejected;
+                w.pending = t.jobs_pending;
+                reply.tenants.push_back(std::move(w));
+            }
+            (void)enqueue(
+                conn, encode_frame(MsgType::StatsReply, reply.encode()),
+                /*droppable=*/false);
+            return;
+        }
+        case MsgType::Shutdown: {
+            ShutdownMsg::decode(frame.payload);
+            if (!conn->authed) {
+                send_error(conn, ErrCode::NotAuthenticated,
+                           "Shutdown before Hello");
+                return;
+            }
+            (void)enqueue(conn,
+                          encode_frame(MsgType::ShutdownAck,
+                                       ShutdownAckMsg{}.encode()),
+                          /*droppable=*/false);
+            {
+                const std::lock_guard<std::mutex> lock(mu_);
+                shutdown_requested_ = true;
+            }
+            shutdown_cv_.notify_all();
+            return;
+        }
+        case MsgType::Error:
+            // A client-side complaint; nothing to do server-side.
+            ErrorMsg::decode(frame.payload);
+            return;
+        default:
+            send_error(conn, ErrCode::BadFrame,
+                       "unexpected message type " + to_string(frame.type));
+            return;
+    }
+}
+
+void FlowServer::handle_submit(const std::shared_ptr<Connection>& conn,
+                               const SubmitJobMsg& msg) {
+    if (!conn->authed) {
+        send_error(conn, ErrCode::NotAuthenticated,
+                   "SubmitJob before Hello");
+        return;
+    }
+    ResultMsg rejected;
+    rejected.job_id = msg.job_id;
+    rejected.status = JobStatus::Rejected;
+    {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        for (const auto& job : conn->active) {
+            if (job.job_id == msg.job_id) {
+                rejected.message = "job id already in flight";
+                break;
+            }
+        }
+    }
+    if (!rejected.message.empty()) {
+        send_result(conn, std::move(rejected));
+        return;
+    }
+
+    core::DesignJob job;
+    try {
+        if (msg.kind == DesignKind::AigerBlob) {
+            job.design = io::read_aiger_binary_string(msg.design);
+            job.name = msg.name.empty()
+                           ? "job-" + std::to_string(msg.job_id)
+                           : msg.name;
+        } else {
+            if (!cfg_.allow_specs) {
+                rejected.message =
+                    "design-spec submissions are disabled on this server";
+                send_result(conn, std::move(rejected));
+                return;
+            }
+            const auto resolved =
+                circuits::resolve_single_design(msg.design);
+            job.design = resolved.load();
+            job.name = msg.name.empty() ? resolved.name : msg.name;
+        }
+    } catch (const std::exception& e) {
+        // Garbage AIGER payloads and bad specs answer with a typed
+        // rejection, never a dropped connection.
+        rejected.message = e.what();
+        send_result(conn, std::move(rejected));
+        return;
+    }
+
+    core::SubmitOptions opts;
+    opts.tenant = conn->tenant;
+    opts.timeout_seconds = msg.timeout_seconds;
+    opts.rounds = msg.rounds;
+    opts.want_graph = true;
+    auto token = std::make_shared<bg::CancelToken>();
+    opts.cancel = token;
+    core::FlowConfig flow = cfg_.service.flow;
+    try {
+        if (msg.num_samples != 0) {
+            flow.num_samples = msg.num_samples;
+        }
+        if (msg.top_k != 0) {
+            flow.top_k = msg.top_k;
+        }
+        if (msg.seed != 0) {
+            flow.seed = msg.seed;
+        }
+        if (!msg.objective.empty()) {
+            flow.objective = opt::make_objective(msg.objective);
+        }
+        flow.verify = msg.verify;  // the wire flag is authoritative
+    } catch (const std::exception& e) {
+        rejected.message = e.what();
+        send_result(conn, std::move(rejected));
+        return;
+    }
+    opts.flow = std::move(flow);
+
+    const std::uint64_t job_id = msg.job_id;
+    if (msg.want_progress) {
+        opts.on_progress = [this, conn, job_id](std::size_t round,
+                                                std::size_t ands) {
+            ProgressMsg progress;
+            progress.job_id = job_id;
+            progress.round = static_cast<std::uint32_t>(round);
+            progress.ands = ands;
+            (void)enqueue(
+                conn, encode_frame(MsgType::Progress, progress.encode()),
+                /*droppable=*/true);
+        };
+    }
+    opts.on_complete = [this, conn, job_id](
+                           const core::DesignFlowResult* res,
+                           std::exception_ptr error) {
+        ResultMsg result;
+        result.job_id = job_id;
+        if (error == nullptr) {
+            result.status = JobStatus::Ok;
+            result.ranked_by = res->flow.ranked_by;
+            result.objective = res->flow.objective;
+            result.original_ands = res->original_size;
+            result.final_ands = res->iterated.final_size;
+            result.bg_best_ratio = res->flow.bg_best_ratio;
+            result.bg_mean_ratio = res->flow.bg_mean_ratio;
+            result.final_ratio = res->iterated.final_ratio;
+            result.rounds_run = static_cast<std::uint32_t>(
+                res->iterated.per_round_reduction.size());
+            result.verdict = wire_verdict(res->verification);
+            result.seconds = res->seconds;
+            if (res->final_graph != nullptr) {
+                result.optimized =
+                    io::write_aiger_binary_string(*res->final_graph);
+            }
+        } else {
+            try {
+                std::rethrow_exception(error);
+            } catch (const bg::CancelledError& e) {
+                result.status =
+                    e.reason() == bg::CancelReason::TimedOut
+                        ? JobStatus::TimedOut
+                        : JobStatus::Cancelled;
+                result.message = e.what();
+            } catch (const std::exception& e) {
+                result.status = JobStatus::Failed;
+                result.message = e.what();
+            } catch (...) {
+                result.status = JobStatus::Failed;
+                result.message = "unknown engine error";
+            }
+        }
+        {
+            const std::lock_guard<std::mutex> lock(conn->mu);
+            conn->active.erase(
+                std::remove_if(conn->active.begin(), conn->active.end(),
+                               [&](const ActiveJob& a) {
+                                   return a.job_id == job_id;
+                               }),
+                conn->active.end());
+        }
+        send_result(conn, std::move(result));
+    };
+
+    {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        conn->active.push_back(ActiveJob{job_id, token});
+    }
+    try {
+        (void)service_.submit(std::move(job), std::move(opts));
+    } catch (const std::exception& e) {
+        // Admission failures (quota, stopped service, missing model):
+        // typed per-job rejection, already counted by the service.
+        {
+            const std::lock_guard<std::mutex> lock(conn->mu);
+            conn->active.erase(
+                std::remove_if(conn->active.begin(), conn->active.end(),
+                               [&](const ActiveJob& a) {
+                                   return a.job_id == job_id;
+                               }),
+                conn->active.end());
+        }
+        rejected.message = e.what();
+        send_result(conn, std::move(rejected));
+    }
+}
+
+}  // namespace bg::net

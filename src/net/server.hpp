@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file server.hpp
+/// bg::net::FlowServer — the socket front end over core::FlowService.
+///
+/// Layering: this file knows both the protocol (net/protocol.hpp) and the
+/// engine (core/flow_service.hpp); the codec knows neither transport nor
+/// engine, and the service knows nothing about sockets.  One acceptor
+/// thread hands each connection a dedicated reader thread (decode frames,
+/// dispatch) and writer thread (drain a bounded outbound frame queue);
+/// the flows themselves run on the service's shared ThreadPool.
+///
+/// Tenancy: a connection authenticates with Hello{token}; the token must
+/// name a registered tenant (empty = default tenant) and every SubmitJob
+/// on that connection is admitted under it — weighted-fair queues,
+/// quotas, per-tenant model snapshots, all enforced by FlowService.
+///
+/// Cancellation contract:
+///  * a Cancel frame cancels that job's token cooperatively;
+///  * a dropped connection cancels every job the connection still has in
+///    flight (the client can no longer receive the result);
+///  * SubmitJob::timeout_seconds arms the same token with a deadline;
+///  * FlowServer::stop() evicts connections and stop_now()s the service,
+///    so every accepted job reaches a definite outcome.
+///
+/// Backpressure: completion callbacks never block on a socket — they
+/// enqueue the encoded frame into the connection's bounded outbound
+/// queue.  Progress frames are droppable and are discarded when the
+/// queue is near capacity; a Result that finds the queue full marks the
+/// connection a slow consumer and evicts it (the result still resolved
+/// inside the service).  Either way no serving worker ever stalls on one
+/// tenant's dead socket.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow_service.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace bg::net {
+
+struct ServerConfig {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral (see FlowServer::port())
+    /// Encoded frames buffered per connection before backpressure kicks
+    /// in (progress dropped, slow consumers evicted on a full Result).
+    std::size_t outbound_capacity = 256;
+    /// Allow DesignKind::DesignSpec submissions (server-side registry /
+    /// file resolution).  Off = AIGER blobs only.
+    bool allow_specs = true;
+    /// Kernel send-buffer clamp (SO_SNDBUF) for accepted sockets;
+    /// 0 = OS default with autotuning.  A small explicit value bounds the
+    /// bytes a slow reader can park in the kernel before the writer
+    /// blocks and the outbound queue starts filling toward eviction.
+    std::size_t socket_send_buffer = 0;
+    /// The wrapped service (workers, default flow, rounds, ...).
+    core::ServiceConfig service;
+};
+
+class FlowServer {
+public:
+    /// Binds and starts accepting immediately.  `tenants` are registered
+    /// on the service before the listener opens; their names double as
+    /// the Hello bearer tokens.  Throws SocketError when the bind fails.
+    FlowServer(ServerConfig cfg, core::ModelSnapshot model,
+               std::vector<core::TenantConfig> tenants = {});
+    ~FlowServer();  // stop()s
+
+    FlowServer(const FlowServer&) = delete;
+    FlowServer& operator=(const FlowServer&) = delete;
+
+    /// The bound port (resolves an ephemeral bind).
+    std::uint16_t port() const { return listener_.port(); }
+    core::FlowService& service() { return service_; }
+
+    /// Block until a client sent Shutdown or stop() ran; false on
+    /// timeout (timeout_seconds 0 = wait forever).
+    bool wait_shutdown(double timeout_seconds = 0.0);
+
+    /// Stop accepting, evict every connection (cancelling its in-flight
+    /// jobs), stop_now() the service, and join all threads.  Idempotent.
+    void stop();
+
+    /// Connections evicted as slow consumers (test/observability hook).
+    std::uint64_t slow_consumer_evictions() const {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct ActiveJob {
+        std::uint64_t job_id = 0;
+        std::shared_ptr<bg::CancelToken> token;
+    };
+
+    /// One client connection: socket, its two threads, the bounded
+    /// outbound queue, and the jobs still in flight on it.
+    struct Connection {
+        std::uint64_t id = 0;
+        TcpStream stream;
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<std::vector<std::uint8_t>> outbound;  // encoded frames
+        bool closing = false;       ///< no further enqueues; writer drains
+        bool authed = false;        ///< Hello completed (reader thread)
+        std::string tenant;         ///< resolved at Hello
+        std::vector<ActiveJob> active;  ///< jobs awaiting their Result
+        std::thread reader;
+        std::thread writer;
+        std::atomic<bool> reader_done{false};
+        std::atomic<bool> writer_done{false};
+
+        bool finished() const {
+            return reader_done.load(std::memory_order_acquire) &&
+                   writer_done.load(std::memory_order_acquire);
+        }
+    };
+
+    void accept_loop();
+    void reader_loop(const std::shared_ptr<Connection>& conn);
+    void writer_loop(const std::shared_ptr<Connection>& conn);
+    void dispatch(const std::shared_ptr<Connection>& conn,
+                  const Frame& frame);
+    void handle_submit(const std::shared_ptr<Connection>& conn,
+                       const SubmitJobMsg& msg);
+    /// Enqueue an encoded frame; drops droppable frames near capacity,
+    /// evicts the connection when a must-deliver frame finds it full.
+    /// Returns false when the frame was not queued.
+    bool enqueue(const std::shared_ptr<Connection>& conn,
+                 std::vector<std::uint8_t> frame, bool droppable);
+    void send_error(const std::shared_ptr<Connection>& conn, ErrCode code,
+                    const std::string& message);
+    void send_result(const std::shared_ptr<Connection>& conn,
+                     ResultMsg result);
+    /// Mark closing, cancel the connection's in-flight jobs, and unpark
+    /// both of its threads.
+    void evict(const std::shared_ptr<Connection>& conn);
+    void reap_finished_locked();
+
+    ServerConfig cfg_;
+    core::FlowService service_;
+    TcpListener listener_;
+    std::vector<std::string> tenant_names_;  ///< valid Hello tokens
+
+    std::mutex mu_;
+    std::condition_variable shutdown_cv_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    bool stopping_ = false;
+    bool shutdown_requested_ = false;
+    bool stopped_ = false;
+    std::uint64_t next_connection_id_ = 1;
+    std::atomic<std::uint64_t> evictions_{0};
+
+    std::thread acceptor_;
+};
+
+}  // namespace bg::net

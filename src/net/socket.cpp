@@ -1,0 +1,201 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace bg::net {
+
+namespace {
+
+std::string errno_message(const char* what) {
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// "localhost" and empty map to loopback; everything else must be an
+/// IPv4 dotted quad (the front end is an internal service boundary, not
+/// a resolver).
+in_addr parse_address(const std::string& address) {
+    in_addr addr{};
+    if (address.empty() || address == "localhost") {
+        addr.s_addr = htonl(INADDR_LOOPBACK);
+        return addr;
+    }
+    if (inet_pton(AF_INET, address.c_str(), &addr) != 1) {
+        throw SocketError("unparseable IPv4 address '" + address + "'");
+    }
+    return addr;
+}
+
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw SocketError(errno_message("socket"));
+    }
+    TcpStream stream(fd);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    sa.sin_addr = parse_address(host);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) !=
+        0) {
+        throw SocketError(errno_message(
+            ("connect to " + host + ":" + std::to_string(port)).c_str()));
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return stream;
+}
+
+std::size_t TcpStream::read_some(void* buf, std::size_t n) {
+    while (true) {
+        const ssize_t got = ::recv(fd_, buf, n, 0);
+        if (got >= 0) {
+            return static_cast<std::size_t>(got);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        throw SocketError(errno_message("recv"));
+    }
+}
+
+void TcpStream::write_all(const void* buf, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a peer reset surfaces as EPIPE instead of killing
+        // the process with SIGPIPE.
+        const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+        if (sent > 0) {
+            p += sent;
+            n -= static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0 && errno == EINTR) {
+            continue;
+        }
+        throw SocketError(errno_message("send"));
+    }
+}
+
+void TcpStream::set_send_buffer(std::size_t bytes) {
+    const int val = static_cast<int>(bytes);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &val, sizeof val) != 0) {
+        throw SocketError(errno_message("setsockopt(SO_SNDBUF)"));
+    }
+}
+
+void TcpStream::set_recv_buffer(std::size_t bytes) {
+    const int val = static_cast<int>(bytes);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &val, sizeof val) != 0) {
+        throw SocketError(errno_message("setsockopt(SO_RCVBUF)"));
+    }
+}
+
+void TcpStream::shutdown_both() noexcept {
+    if (fd_ >= 0) {
+        (void)::shutdown(fd_, SHUT_RDWR);
+    }
+}
+
+void TcpStream::close() noexcept {
+    if (fd_ >= 0) {
+        (void)::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpListener::TcpListener(const std::string& address, std::uint16_t port,
+                         int backlog) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw SocketError(errno_message("socket"));
+    }
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    sa.sin_addr = parse_address(address);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) !=
+        0) {
+        const std::string msg = errno_message(
+            ("bind " + address + ":" + std::to_string(port)).c_str());
+        (void)::close(fd_);
+        fd_ = -1;
+        throw SocketError(msg);
+    }
+    if (::listen(fd_, backlog) != 0) {
+        const std::string msg = errno_message("listen");
+        (void)::close(fd_);
+        fd_ = -1;
+        throw SocketError(msg);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+        port_ = ntohs(bound.sin_port);
+    } else {
+        port_ = port;
+    }
+}
+
+TcpListener::~TcpListener() {
+    if (fd_ >= 0) {
+        (void)::shutdown(fd_, SHUT_RDWR);
+        (void)::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+    while (true) {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) {
+            const int one = 1;
+            (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
+                               sizeof one);
+            return TcpStream(client);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        // close() shut the listener down (EINVAL/EBADF), or the socket is
+        // otherwise done for: either way the accept loop ends.
+        return std::nullopt;
+    }
+}
+
+void TcpListener::close() noexcept {
+    // shutdown() only: it unparks a blocked accept() in another thread
+    // without invalidating the fd under it (closing here would race the
+    // kernel reassigning the descriptor).  The destructor releases the
+    // fd once no thread can be parked on it.
+    if (fd_ >= 0) {
+        (void)::shutdown(fd_, SHUT_RDWR);
+    }
+}
+
+}  // namespace bg::net

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file socket.hpp
+/// Minimal RAII TCP primitives for the network front end: a connected
+/// stream and a listener.  POSIX-only (the toolchain this repo targets);
+/// everything blocking, no select/epoll — concurrency comes from the
+/// FlowServer's per-connection reader/writer threads, and unblocking
+/// comes from shutdown(2), which makes a parked accept/recv/send return
+/// immediately.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace bg::net {
+
+class SocketError : public std::runtime_error {
+public:
+    explicit SocketError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+/// A connected TCP stream.  Movable, not copyable; closes on destruction.
+class TcpStream {
+public:
+    TcpStream() = default;
+    explicit TcpStream(int fd) : fd_(fd) {}
+    ~TcpStream();
+
+    TcpStream(TcpStream&& other) noexcept;
+    TcpStream& operator=(TcpStream&& other) noexcept;
+    TcpStream(const TcpStream&) = delete;
+    TcpStream& operator=(const TcpStream&) = delete;
+
+    /// Connect to host:port (IPv4 dotted quad or "localhost").
+    static TcpStream connect(const std::string& host, std::uint16_t port);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /// Read up to `n` bytes; returns 0 on orderly EOF, throws SocketError
+    /// on failure.  A shutdown() from another thread reads as EOF.
+    std::size_t read_some(void* buf, std::size_t n);
+
+    /// Write all `n` bytes or throw SocketError (covers resets and
+    /// shutdown-induced failures).
+    void write_all(const void* buf, std::size_t n);
+
+    /// Clamp the kernel send/receive buffer (SO_SNDBUF / SO_RCVBUF).
+    /// Setting an explicit size disables TCP autotuning for that side,
+    /// which bounds how much a slow peer can make the kernel buffer —
+    /// the backpressure tests rely on this being deterministic.
+    void set_send_buffer(std::size_t bytes);
+    void set_recv_buffer(std::size_t bytes);
+
+    /// Disable further sends and receives; any thread blocked in
+    /// read_some/write_all on this stream returns/throws promptly.
+    /// Safe to call concurrently with reads/writes and repeatedly.
+    void shutdown_both() noexcept;
+
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (or a given address).
+class TcpListener {
+public:
+    /// Bind + listen; port 0 picks an ephemeral port (see port()).
+    TcpListener(const std::string& address, std::uint16_t port,
+                int backlog = 64);
+    ~TcpListener();
+
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    /// The bound port (resolves ephemeral port 0 to the real one).
+    std::uint16_t port() const { return port_; }
+
+    /// Block for one connection; nullopt once close() was called.
+    std::optional<TcpStream> accept();
+
+    /// Unblock any parked accept() and invalidate the listener.
+    /// Idempotent and safe from other threads.
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+}  // namespace bg::net

@@ -49,6 +49,7 @@ OrchestrationResult orchestrate(Aig& g, std::span<const OpKind> decisions,
         if (op == OpKind::None) {
             continue;
         }
+        poll_cancel(params.cancel, "orchestrate");
         ++res.num_checked;
         if (track_levels && levels_stale) {
             g.update_levels();
@@ -258,6 +259,7 @@ OrchestrationResult orchestrate_parallel(Aig& g,
             if (g.is_dead(v)) {
                 continue;  // consumed by an earlier transformation
             }
+            poll_cancel(params.cancel, "orchestrate_parallel");
             ++res.num_checked;
             if (!spec_valid(specs[c])) {
                 ++res.num_conflicts;

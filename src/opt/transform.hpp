@@ -22,6 +22,7 @@
 
 #include "aig/aig.hpp"
 #include "opt/mffc.hpp"
+#include "util/cancel.hpp"
 
 namespace bg::opt {
 
@@ -47,6 +48,14 @@ struct OptParams {
     std::size_t resub_max_divisors = 48;
     /// Accept transformations with zero gain (ABC's -z); default off.
     bool allow_zero_gain = false;
+
+    /// Cooperative cancel point, polled by the orchestrate node walks
+    /// (sequential loop and parallel commit walk) and by run_flow stage
+    /// boundaries.  Null (the default) compiles to a pointer test and
+    /// leaves results bit-identical to the cancel-free code path; a
+    /// stopped token raises bg::CancelledError.  Not an optimization
+    /// knob: validate() ignores it.
+    const bg::CancelToken* cancel = nullptr;
 
     /// Largest reconvergence cut the refactor/resub windows may grow to;
     /// beyond this the 2^leaves truth tables dominate the runtime.

@@ -42,6 +42,7 @@ SatCecResult check_equivalence_sat_full(const aig::Aig& a, const aig::Aig& b,
     res.stats.outputs_total = a.num_pos();
 
     Solver solver;
+    solver.set_memory_limit(opts.max_memory_bytes);
     using Clock = std::chrono::steady_clock;
     Clock::time_point deadline = Clock::time_point::max();
     if (opts.timeout_seconds > 0.0) {
@@ -74,12 +75,15 @@ SatCecResult check_equivalence_sat_full(const aig::Aig& a, const aig::Aig& b,
         while (true) {
             const Result r = solver.solve({diff}, opts.conflict_budget);
             res.stats.conflicts = solver.num_conflicts();
+            res.stats.memory_bytes = solver.memory_estimate();
+            res.stats.memory_limited = solver.memory_limit_hit();
             if (r == Result::Unsat) {
                 ++res.stats.outputs_proven;
                 break;
             }
             if (r == Result::Unknown) {
-                // Budget exhausted, cancelled, or timed out.
+                // Budget exhausted (conflicts or memory), cancelled, or
+                // timed out.
                 res.verdict = aig::CecVerdict::ProbablyEquivalent;
                 return res;
             }

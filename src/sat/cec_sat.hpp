@@ -39,6 +39,12 @@ struct SatCecOptions {
     const std::atomic<bool>* cancel = nullptr;
     /// Wall-clock budget in seconds (0 = unlimited).
     double timeout_seconds = 0.0;
+    /// Approximate heap cap for the solver instance (miter CNF + learned
+    /// clauses, which this solver never deletes); 0 = unlimited.  A hard
+    /// miter that crosses the cap degrades to ProbablyEquivalent
+    /// (SatCecStats::memory_limited) instead of growing without bound —
+    /// the per-engine budget the multi-tenant server relies on.
+    std::size_t max_memory_bytes = 512u << 20;
 };
 
 /// Work accounting of one SAT equivalence check.
@@ -48,6 +54,8 @@ struct SatCecStats {
     std::size_t cex_found = 0;       ///< SAT models extracted
     std::size_t spurious_cex = 0;    ///< models that failed simulation
     std::uint64_t conflicts = 0;     ///< solver conflicts spent
+    std::size_t memory_bytes = 0;    ///< solver footprint estimate
+    bool memory_limited = false;     ///< degraded by max_memory_bytes
 };
 
 /// Full outcome of a SAT equivalence check.

@@ -7,6 +7,22 @@
 
 namespace bg::sat {
 
+namespace {
+
+/// Approximate per-variable footprint: the per-var entries plus two
+/// watcher-list headers (their elements are charged per clause).
+constexpr std::size_t kBytesPerVar =
+    sizeof(std::int8_t) * 2 + sizeof(int) + sizeof(std::int32_t) +
+    sizeof(double) + 2 * sizeof(std::vector<int>);  // list headers
+
+/// Approximate footprint of one attached clause: header, literal
+/// storage, and its two watcher entries.
+std::size_t clause_bytes(std::size_t num_lits) {
+    return 2 * sizeof(void*) + num_lits * sizeof(Lit) + 32;
+}
+
+}  // namespace
+
 Var Solver::new_var() {
     const Var v = static_cast<Var>(assigns_.size());
     assigns_.push_back(2);
@@ -16,6 +32,7 @@ Var Solver::new_var() {
     activity_.push_back(0.0);
     watches_.emplace_back();
     watches_.emplace_back();
+    mem_bytes_ += kBytesPerVar;
     return v;
 }
 
@@ -56,6 +73,7 @@ bool Solver::add_clause(std::vector<Lit> lits) {
         }
         return true;
     }
+    mem_bytes_ += clause_bytes(out.size());
     clauses_.push_back(Clause{std::move(out), false});
     attach(static_cast<std::int32_t>(clauses_.size()) - 1);
     return true;
@@ -249,6 +267,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
     if (interrupt_ && interrupt_()) {
         return Result::Unknown;
     }
+    // An instance already over budget (a miter bigger than the cap)
+    // degrades immediately instead of on the first conflict.
+    if (memory_limit_ != 0 && mem_bytes_ > memory_limit_) {
+        memory_limit_hit_ = true;
+        return Result::Unknown;
+    }
 
     std::uint64_t restart_limit = 128;
     std::uint64_t conflicts_since_restart = 0;
@@ -271,6 +295,15 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
                 backtrack(0);
                 return Result::Unknown;
             }
+            if (memory_limit_ != 0 && mem_bytes_ > memory_limit_) {
+                // The learned-clause database (never reduced in this
+                // solver) crossed the per-engine budget: degrade, don't
+                // grow — the caller treats Unknown exactly like an
+                // exhausted conflict budget.
+                memory_limit_hit_ = true;
+                backtrack(0);
+                return Result::Unknown;
+            }
             std::vector<Lit> learned;
             int bt_level = 0;
             analyze(conflict, learned, bt_level);
@@ -278,6 +311,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
             if (learned.size() == 1) {
                 enqueue(learned[0], -1);
             } else {
+                mem_bytes_ += clause_bytes(learned.size());
                 clauses_.push_back(Clause{learned, true});
                 const auto ci =
                     static_cast<std::int32_t>(clauses_.size()) - 1;

@@ -56,6 +56,20 @@ public:
         interrupt_ = std::move(cb);
     }
 
+    /// Cap the solver's approximate heap footprint (0 = unlimited).  The
+    /// estimate (memory_estimate()) accounts variables, clause literals
+    /// and watcher lists — the structures that actually grow on hard
+    /// instances, dominated by learned clauses since this solver never
+    /// deletes them.  When a solve() crosses the cap it backtracks to
+    /// level 0 and returns Result::Unknown with memory_limit_hit() set —
+    /// a degrade-don't-die budget, same contract as the conflict budget.
+    void set_memory_limit(std::size_t bytes) { memory_limit_ = bytes; }
+    std::size_t memory_limit() const { return memory_limit_; }
+    /// Approximate bytes held by variables, clauses and watchers.
+    std::size_t memory_estimate() const { return mem_bytes_; }
+    /// True once any solve() returned Unknown because of the memory cap.
+    bool memory_limit_hit() const { return memory_limit_hit_; }
+
     /// Model access after Result::Sat.
     bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == 1; }
 
@@ -105,6 +119,9 @@ private:
     std::vector<std::int8_t> model_;
     bool unsat_ = false;
     std::function<bool()> interrupt_;
+    std::size_t memory_limit_ = 0;  ///< bytes; 0 = unlimited
+    std::size_t mem_bytes_ = 0;     ///< running footprint estimate
+    bool memory_limit_hit_ = false;
 
     std::uint64_t conflicts_ = 0;
     std::uint64_t decisions_ = 0;

@@ -241,4 +241,57 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnf,
                          ::testing::Range(std::uint64_t{0},
                                           std::uint64_t{40}));
 
+TEST(Sat, MemoryEstimateGrowsWithInstance) {
+    Solver s;
+    EXPECT_EQ(s.memory_estimate(), 0u);
+    const Var x = s.new_var();
+    const Var y = s.new_var();
+    const std::size_t after_vars = s.memory_estimate();
+    EXPECT_GT(after_vars, 0u);
+    EXPECT_TRUE(s.add_clause({mk_lit(x), mk_lit(y)}));
+    EXPECT_GT(s.memory_estimate(), after_vars);
+    EXPECT_FALSE(s.memory_limit_hit());
+    EXPECT_EQ(s.memory_limit(), 0u) << "unlimited by default";
+}
+
+TEST(Sat, MemoryLimitDegradesToUnknown) {
+    // A hard pigeonhole under a budget smaller than its own CNF: solve()
+    // must return Unknown with the memory flag set instead of growing the
+    // learned-clause database without bound.
+    const int n = 7;
+    Solver s;
+    std::vector<std::vector<Var>> p(static_cast<std::size_t>(n + 1));
+    for (int i = 0; i <= n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            p[static_cast<std::size_t>(i)].push_back(s.new_var());
+        }
+    }
+    for (int i = 0; i <= n; ++i) {
+        std::vector<Lit> clause;
+        for (int j = 0; j < n; ++j) {
+            clause.push_back(mk_lit(
+                p[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]));
+        }
+        (void)s.add_clause(clause);
+    }
+    for (int j = 0; j < n; ++j) {
+        for (int i1 = 0; i1 <= n; ++i1) {
+            for (int i2 = i1 + 1; i2 <= n; ++i2) {
+                (void)s.add_clause(
+                    {mk_lit(p[static_cast<std::size_t>(i1)]
+                             [static_cast<std::size_t>(j)], true),
+                     mk_lit(p[static_cast<std::size_t>(i2)]
+                             [static_cast<std::size_t>(j)], true)});
+            }
+        }
+    }
+    s.set_memory_limit(1);  // below even the base CNF
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    EXPECT_TRUE(s.memory_limit_hit());
+    EXPECT_GT(s.memory_estimate(), s.memory_limit());
+    // Raising the limit makes the same instance solvable again.
+    s.set_memory_limit(0);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
 }  // namespace

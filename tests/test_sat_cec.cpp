@@ -138,6 +138,33 @@ TEST(SatCec, BudgetExhaustionDegradesGracefully) {
     EXPECT_NE(verdict, CecVerdict::NotEquivalent);
 }
 
+TEST(SatCec, MemoryBudgetDegradesHardMiter) {
+    // A miter whose CNF alone exceeds a tiny per-engine budget must
+    // degrade to ProbablyEquivalent with the memory flag set — never
+    // claim NotEquivalent, never grow unbounded, never throw.
+    const Aig a = bg::circuits::make_benchmark_scaled("b11", 0.4);
+    Aig b = a;
+    (void)bg::opt::standalone_pass(b, bg::opt::OpKind::Rewrite);
+    bg::sat::SatCecOptions opts;
+    opts.max_memory_bytes = 1024;
+    const auto res = bg::sat::check_equivalence_sat_full(a, b, opts);
+    EXPECT_EQ(res.verdict, CecVerdict::ProbablyEquivalent);
+    EXPECT_TRUE(res.stats.memory_limited);
+    EXPECT_GT(res.stats.memory_bytes, opts.max_memory_bytes);
+}
+
+TEST(SatCec, DefaultMemoryBudgetUnobtrusive) {
+    // The 512 MiB default must not change verdicts on this library's
+    // miter sizes; the stats still expose the measured footprint.
+    const Aig a = bg::circuits::make_benchmark_scaled("b11", 0.4);
+    Aig b = a;
+    (void)bg::opt::standalone_pass(b, bg::opt::OpKind::Rewrite);
+    const auto res = bg::sat::check_equivalence_sat_full(a, b);
+    EXPECT_EQ(res.verdict, CecVerdict::Equivalent);
+    EXPECT_FALSE(res.stats.memory_limited);
+    EXPECT_GT(res.stats.memory_bytes, 0u);
+}
+
 TEST(SatCec, InterfaceMismatchThrows) {
     Aig a;
     a.add_pi();
